@@ -1,0 +1,51 @@
+// Ablation: MMP with maximal-message merging ((T ∪ TC)*, Proposition 3)
+// disabled. Without merging, messages from different neighborhoods can
+// never combine, so inference chains spanning neighborhoods — the paper's
+// {(a1,a2),(b2,b3),(c2,c3)} example — are not completed.
+
+#include "bench_util.h"
+#include "core/message_passing.h"
+#include "data/figure1.h"
+#include "mln/mln_matcher.h"
+
+int main() {
+  using namespace cem;
+  const double scale = bench::Begin(
+      "Ablation — MMP without message merging",
+      "merging overlapping maximal messages is what completes chains; "
+      "without it MMP degenerates towards SMP");
+
+  // Part 1: the paper's own Figure 1/2 instance, where the effect is exact.
+  {
+    data::Figure1 fig = data::MakeFigure1();
+    mln::MlnMatcher matcher(*fig.dataset, mln::MlnWeights::Figure1Demo());
+    core::Cover cover;
+    for (const auto& n : fig.neighborhoods) cover.Add(n);
+    TableWriter table({"variant", "matches found", "chain recovered"});
+    const core::MpResult with = core::RunMmp(matcher, cover);
+    const core::MpResult without = core::RunMmpWithoutMerge(matcher, cover);
+    const data::EntityPair chain_pair(fig.a1, fig.a2);
+    table.AddRow({"MMP (full)", std::to_string(with.matches.size()),
+                  with.matches.Contains(chain_pair) ? "yes" : "no"});
+    table.AddRow({"MMP, no merge", std::to_string(without.matches.size()),
+                  without.matches.Contains(chain_pair) ? "yes" : "no"});
+    std::printf("Figure 1 instance (5 matches in the holistic optimum):\n");
+    table.Print(std::cout);
+  }
+
+  // Part 2: the HEPTH-like corpus.
+  {
+    eval::Workload w = eval::MakeHepthWorkload(scale);
+    mln::MlnMatcher matcher(*w.dataset);
+    const core::MpResult with = core::RunMmp(matcher, w.cover);
+    const core::MpResult without = core::RunMmpWithoutMerge(matcher, w.cover);
+    TableWriter table({"variant", "P", "R", "F1"});
+    table.AddRow(bench::PrRow("MMP (full)", *w.dataset, with.matches));
+    table.AddRow(bench::PrRow("MMP, no merge", *w.dataset, without.matches));
+    std::printf("\nHEPTH-like corpus:\n");
+    table.Print(std::cout);
+    std::printf("\nmatches only found with merging: %zu\n",
+                with.matches.Difference(without.matches).size());
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+#ifndef CEM_BENCH_BENCH_UTIL_H_
+#define CEM_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the per-figure bench binaries. Each binary prints the
+// rows/series of one paper figure or table (see DESIGN.md §4) and a short
+// note tying the measured shape back to the paper's claim.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/match_set.h"
+#include "core/message_passing.h"
+#include "data/dataset.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "util/logging.h"
+#include "util/table_writer.h"
+
+namespace cem::bench {
+
+/// Prints the standard bench banner and returns the workload scale.
+inline double Begin(const std::string& experiment_id,
+                    const std::string& paper_claim) {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  const double scale = eval::BenchScale();
+  std::printf("=== %s ===\n", experiment_id.c_str());
+  std::printf("Paper claim: %s\n", paper_claim.c_str());
+  std::printf("Workload scale: %.2f (set CEM_BENCH_SCALE to change)\n\n",
+              scale);
+  return scale;
+}
+
+/// Raw pairwise P/R/F1 row for a match set (the MLN matcher applies no
+/// closure, so raw decisions are the comparable quantity).
+inline std::vector<std::string> PrRow(const std::string& name,
+                                      const data::Dataset& dataset,
+                                      const core::MatchSet& matches) {
+  const eval::PrMetrics m = eval::ComputePr(dataset, matches);
+  return {name, TableWriter::Num(m.precision), TableWriter::Num(m.recall),
+          TableWriter::Num(m.f1)};
+}
+
+/// Row with both raw pairwise metrics and metrics after transitive closure
+/// (closure is how downstream consumers read out clusters).
+inline std::vector<std::string> PrRowBoth(const std::string& name,
+                                          const data::Dataset& dataset,
+                                          const core::MatchSet& matches) {
+  const eval::PrMetrics raw = eval::ComputePr(dataset, matches);
+  const eval::PrMetrics closed =
+      eval::ComputePr(dataset, core::TransitiveClosure(matches));
+  return {name,
+          TableWriter::Num(raw.precision),
+          TableWriter::Num(raw.recall),
+          TableWriter::Num(raw.f1),
+          TableWriter::Num(closed.precision),
+          TableWriter::Num(closed.recall),
+          TableWriter::Num(closed.f1)};
+}
+
+/// Formats seconds with adaptive precision.
+inline std::string Secs(double seconds) {
+  return TableWriter::Num(seconds, seconds < 0.1 ? 4 : 2);
+}
+
+}  // namespace cem::bench
+
+#endif  // CEM_BENCH_BENCH_UTIL_H_

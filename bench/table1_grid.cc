@@ -1,0 +1,58 @@
+// Table 1: grid running times (minutes in the paper) — NO-MP / SMP / MMP on
+// a single machine versus a 30-machine grid, on the largest corpus
+// (DBLP-BIG in the paper; a scaled-up DBLP-like corpus here).
+//
+// The executor reproduces the paper's round-based Map/Reduce scheme; the
+// simulated makespan model charges each round the maximum per-machine load
+// plus a scheduling overhead, with random neighborhood->machine assignment
+// (the paper's two named causes of sub-linear speedup: setup overhead and
+// statistical skew). The matcher runs under the cost model so task
+// durations reflect the paper's expensive-inference regime.
+
+#include "bench_util.h"
+#include "core/grid_executor.h"
+#include "mln/mln_matcher.h"
+
+int main() {
+  using namespace cem;
+  const double scale = bench::Begin(
+      "Table 1 — running times on the grid (DBLP-BIG-like)",
+      "30 machines give a speedup of roughly 11 over one machine — good "
+      "but sub-linear, due to per-round setup overhead and skew in the "
+      "random neighborhood assignment");
+
+  // DBLP-BIG: the paper's largest corpus. 1.5x the regular DBLP workload
+  // (scale further with CEM_BENCH_SCALE).
+  eval::Workload w = eval::MakeDblpWorkload(scale * 1.5);
+  std::printf("%s(BIG): %zu refs, %zu candidate pairs, %zu neighborhoods\n\n",
+              w.name.c_str(), w.dataset->author_refs().size(),
+              w.dataset->num_candidate_pairs(), w.cover.size());
+
+  mln::MlnMatcher inner(*w.dataset);
+  eval::CostModelMatcher matcher(inner);
+
+  TableWriter table({"scheme", "1 machine (sim sec)", "30 machines (sim sec)",
+                     "speedup", "rounds"});
+  for (core::MpScheme scheme : {core::MpScheme::kNoMp, core::MpScheme::kSmp,
+                                core::MpScheme::kMmp}) {
+    core::GridOptions single;
+    single.scheme = scheme;
+    single.num_machines = 1;
+    single.per_round_overhead_seconds = 0.05;
+    core::GridOptions grid = single;
+    grid.num_machines = 30;
+    const core::GridResult on_one = RunGrid(matcher, w.cover, single);
+    const core::GridResult on_grid = RunGrid(matcher, w.cover, grid);
+    CEM_CHECK(on_one.matches == on_grid.matches)
+        << "grid and single-machine runs must agree (consistency)";
+    table.AddRow({core::MpSchemeName(scheme),
+                  bench::Secs(on_one.simulated_seconds),
+                  bench::Secs(on_grid.simulated_seconds),
+                  TableWriter::Num(on_one.simulated_seconds /
+                                       on_grid.simulated_seconds,
+                                   1),
+                  std::to_string(on_grid.rounds)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Plugging a custom matcher into the framework: any object implementing
+// core::Matcher (the paper's Type-I black box) gets SMP and the grid
+// executor for free. This example wires up a simple threshold-plus-
+// one-coauthor matcher — an "iterative" style matcher in the paper's
+// taxonomy (Appendix D) — and scales it with SMP.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "core/canopy.h"
+#include "core/matcher.h"
+#include "core/message_passing.h"
+#include "data/bib_generator.h"
+#include "eval/metrics.h"
+
+namespace {
+
+using namespace cem;
+
+/// Matches a candidate pair iff it is highly similar (level 3), or is
+/// moderately similar (level 2) and has a shared coauthor or an
+/// already-matched coauthor pair. Monotone and idempotent (well-behaved),
+/// so Theorem 2's guarantees apply to SMP runs.
+class ThresholdCoauthorMatcher : public core::Matcher {
+ public:
+  explicit ThresholdCoauthorMatcher(const data::Dataset& dataset)
+      : dataset_(&dataset) {}
+
+  core::MatchSet Match(const std::vector<data::EntityId>& entities,
+                       const core::MatchSet& positive,
+                       const core::MatchSet& negative) const override {
+    const std::unordered_set<data::EntityId> members(entities.begin(),
+                                                     entities.end());
+    core::MatchSet matched;
+    // Seed with in-neighborhood positive evidence.
+    for (const data::EntityPair& p : positive.SortedPairs()) {
+      if (members.count(p.a) && members.count(p.b) && !negative.Contains(p)) {
+        matched.Insert(p);
+      }
+    }
+    // Iterate to fixpoint: newly matched pairs can unlock level-2 pairs.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (data::EntityId e : entities) {
+        for (data::PairId id : dataset_->PairsOfEntity(e)) {
+          const data::CandidatePair& cp = dataset_->candidate_pair(id);
+          if (cp.pair.a != e || !members.count(cp.pair.b)) continue;
+          if (matched.Contains(cp.pair) || negative.Contains(cp.pair)) continue;
+          if (Decide(cp, members, matched)) {
+            matched.Insert(cp.pair);
+            changed = true;
+          }
+        }
+      }
+    }
+    return matched;
+  }
+
+  const data::Dataset& dataset() const override { return *dataset_; }
+
+ private:
+  bool Decide(const data::CandidatePair& cp,
+              const std::unordered_set<data::EntityId>& members,
+              const core::MatchSet& matched) const {
+    if (cp.level == text::SimilarityLevel::kHigh) return true;
+    if (cp.level != text::SimilarityLevel::kMedium) return false;
+    // One shared coauthor, or one matched coauthor pair, inside C.
+    const auto& co_a = dataset_->Coauthors(cp.pair.a);
+    const auto& co_b = dataset_->Coauthors(cp.pair.b);
+    for (data::EntityId c : co_a) {
+      if (!members.count(c)) continue;
+      for (data::EntityId d : co_b) {
+        if (!members.count(d)) continue;
+        if (c == d || matched.Contains(data::EntityPair(c, d))) return true;
+      }
+    }
+    return false;
+  }
+
+  const data::Dataset* dataset_;
+};
+
+}  // namespace
+
+int main() {
+  auto dataset = data::GenerateBibDataset(data::BibConfig::DblpLike(1.0));
+  const core::Cover cover = core::BuildCanopyCover(*dataset);
+
+  ThresholdCoauthorMatcher matcher(*dataset);
+  const core::MpResult no_mp = core::RunNoMp(matcher, cover);
+  const core::MpResult smp = core::RunSmp(matcher, cover);
+  const core::MatchSet full = matcher.MatchAll();
+
+  auto report = [&](const char* name, const core::MatchSet& matches) {
+    const eval::PrMetrics m =
+        eval::ComputePr(*dataset, core::TransitiveClosure(matches));
+    std::printf("%-6s %s\n", name, m.ToString().c_str());
+  };
+  std::printf("Custom Type-I matcher scaled by the framework:\n");
+  report("NO-MP", no_mp.matches);
+  report("SMP", smp.matches);
+  report("FULL", full);
+  std::printf("\nSMP sound vs FULL: %s (Theorem 2 applies — the matcher is "
+              "well-behaved)\n",
+              smp.matches.IsSubsetOf(full) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,185 @@
+// A small command-line deduplication tool around the library — the shape a
+// downstream user would actually run:
+//
+//   dedup_tool [--input corpus.tsv] [--output matches.tsv]
+//              [--matcher mln|rules] [--scheme nomp|smp|mmp]
+//              [--machines N] [--generate hepth|dblp] [--scale S]
+//
+// Reads a TSV corpus (see data/tsv_io.h; --generate synthesises one
+// instead), builds candidate pairs and a total cover, runs the chosen
+// matcher under the chosen scheme (optionally grid-parallel), prints
+// metrics when ground truth is present, and writes the matched pairs.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/canopy.h"
+#include "core/grid_executor.h"
+#include "core/message_passing.h"
+#include "data/bib_generator.h"
+#include "data/tsv_io.h"
+#include "eval/metrics.h"
+#include "mln/mln_matcher.h"
+#include "rules/rules_matcher.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace cem;
+
+struct Args {
+  std::string input;
+  std::string output;
+  std::string matcher = "mln";
+  std::string scheme = "mmp";
+  std::string generate = "dblp";
+  double scale = 0.5;
+  uint32_t machines = 1;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--input")) {
+      const char* v = next("--input");
+      if (!v) return false;
+      args->input = v;
+    } else if (!std::strcmp(argv[i], "--output")) {
+      const char* v = next("--output");
+      if (!v) return false;
+      args->output = v;
+    } else if (!std::strcmp(argv[i], "--matcher")) {
+      const char* v = next("--matcher");
+      if (!v) return false;
+      args->matcher = v;
+    } else if (!std::strcmp(argv[i], "--scheme")) {
+      const char* v = next("--scheme");
+      if (!v) return false;
+      args->scheme = v;
+    } else if (!std::strcmp(argv[i], "--generate")) {
+      const char* v = next("--generate");
+      if (!v) return false;
+      args->generate = v;
+    } else if (!std::strcmp(argv[i], "--scale")) {
+      const char* v = next("--scale");
+      if (!v) return false;
+      args->scale = std::atof(v);
+    } else if (!std::strcmp(argv[i], "--machines")) {
+      const char* v = next("--machines");
+      if (!v) return false;
+      args->machines = static_cast<uint32_t>(std::atoi(v));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  // --- load or generate the corpus.
+  std::unique_ptr<data::Dataset> dataset;
+  if (!args.input.empty()) {
+    auto loaded = data::LoadDatasetTsv(args.input);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "failed to load %s: %s\n", args.input.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(*loaded);
+    dataset->BuildCandidatePairs();
+  } else {
+    const data::BibConfig config = args.generate == "hepth"
+                                       ? data::BibConfig::HepthLike(args.scale)
+                                       : data::BibConfig::DblpLike(args.scale);
+    dataset = data::GenerateBibDataset(config);
+    std::printf("generated %s-like corpus at scale %.2f\n",
+                args.generate.c_str(), args.scale);
+  }
+  std::printf("%zu author references, %zu candidate pairs\n",
+              dataset->author_refs().size(), dataset->num_candidate_pairs());
+
+  // --- cover and matcher.
+  const core::Cover cover = core::BuildCanopyCover(*dataset);
+  std::printf("cover: %s\n", cover.Summary(*dataset).c_str());
+
+  std::unique_ptr<core::Matcher> matcher;
+  if (args.matcher == "mln") {
+    matcher = std::make_unique<mln::MlnMatcher>(*dataset);
+  } else if (args.matcher == "rules") {
+    matcher = std::make_unique<rules::RulesMatcher>(*dataset);
+  } else {
+    std::fprintf(stderr, "unknown matcher '%s' (mln|rules)\n",
+                 args.matcher.c_str());
+    return 2;
+  }
+
+  // --- run.
+  Timer timer;
+  core::MatchSet matches;
+  if (args.machines > 1) {
+    core::GridOptions options;
+    options.num_machines = args.machines;
+    options.scheme = args.scheme == "nomp"  ? core::MpScheme::kNoMp
+                     : args.scheme == "smp" ? core::MpScheme::kSmp
+                                            : core::MpScheme::kMmp;
+    matches = core::RunGrid(*matcher, cover, options).matches;
+  } else if (args.scheme == "nomp") {
+    matches = core::RunNoMp(*matcher, cover).matches;
+  } else if (args.scheme == "smp") {
+    matches = core::RunSmp(*matcher, cover).matches;
+  } else if (args.scheme == "mmp") {
+    auto* probabilistic =
+        dynamic_cast<core::ProbabilisticMatcher*>(matcher.get());
+    if (probabilistic == nullptr) {
+      std::fprintf(stderr,
+                   "MMP needs a probabilistic matcher; use --scheme smp "
+                   "with --matcher rules\n");
+      return 2;
+    }
+    matches = core::RunMmp(*probabilistic, cover).matches;
+  } else {
+    std::fprintf(stderr, "unknown scheme '%s' (nomp|smp|mmp)\n",
+                 args.scheme.c_str());
+    return 2;
+  }
+  const core::MatchSet clusters = core::TransitiveClosure(matches);
+  std::printf("%zu matches (%zu after closure) in %.2fs\n", matches.size(),
+              clusters.size(), timer.ElapsedSeconds());
+
+  const eval::PrMetrics metrics = eval::ComputePr(*dataset, clusters);
+  if (metrics.total_true > 0) {
+    std::printf("quality vs ground truth: %s\n", metrics.ToString().c_str());
+  }
+
+  // --- write matched pairs.
+  if (!args.output.empty()) {
+    std::ofstream out(args.output);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.output.c_str());
+      return 1;
+    }
+    for (const data::EntityPair& p : clusters.SortedPairs()) {
+      out << p.a << '\t' << p.b << '\t'
+          << dataset->entity(p.a).DisplayName() << '\t'
+          << dataset->entity(p.b).DisplayName() << '\n';
+    }
+    std::printf("wrote %zu pairs to %s\n", clusters.size(),
+                args.output.c_str());
+  }
+  return 0;
+}

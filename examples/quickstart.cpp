@@ -1,0 +1,66 @@
+// Quickstart: the paper's running example (Figures 1 and 2), end to end.
+//
+// Builds the 9-reference instance, runs the MLN matcher under the three
+// execution schemes and prints the walkthrough of Section 2: NO-MP finds
+// only (c1,c2); SMP additionally recovers (b1,b2) via a simple message;
+// MMP completes the {(a1,a2),(b2,b3),(c2,c3)} chain via maximal messages
+// and reproduces the holistic optimum exactly.
+
+#include <cstdio>
+#include <string>
+
+#include "core/cover.h"
+#include "core/message_passing.h"
+#include "data/figure1.h"
+#include "mln/mln_matcher.h"
+
+namespace {
+
+std::string Describe(const cem::data::Dataset& dataset,
+                     const cem::core::MatchSet& matches) {
+  std::string out;
+  for (const cem::data::EntityPair& p : matches.SortedPairs()) {
+    if (!out.empty()) out += ", ";
+    out += "(" + dataset.entity(p.a).DisplayName() + " = " +
+           dataset.entity(p.b).DisplayName() + ")";
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cem;
+
+  // 1. The entity-matching instance of Figure 1: author references with
+  //    Coauthor edges, Similar within each letter group.
+  data::Figure1 fig = data::MakeFigure1();
+  const data::Dataset& dataset = *fig.dataset;
+  std::printf("Entities: %zu author references, %zu candidate pairs\n",
+              dataset.author_refs().size(), dataset.num_candidate_pairs());
+
+  // 2. The black-box matcher: the MLN of Section 2.1 with the pedagogical
+  //    weights R1 = -5, R2 = +8.
+  mln::MlnMatcher matcher(dataset, mln::MlnWeights::Figure1Demo());
+
+  // 3. The cover of Figure 2: C1, C2, C3.
+  core::Cover cover;
+  for (const auto& neighborhood : fig.neighborhoods) cover.Add(neighborhood);
+
+  // 4. Run the three schemes.
+  const core::MpResult no_mp = core::RunNoMp(matcher, cover);
+  const core::MpResult smp = core::RunSmp(matcher, cover);
+  const core::MpResult mmp = core::RunMmp(matcher, cover);
+  const core::MatchSet full = matcher.MatchAll();
+
+  std::printf("\nNO-MP: %s\n", Describe(dataset, no_mp.matches).c_str());
+  std::printf("SMP:   %s\n", Describe(dataset, smp.matches).c_str());
+  std::printf("MMP:   %s\n", Describe(dataset, mmp.matches).c_str());
+  std::printf("FULL:  %s\n", Describe(dataset, full).c_str());
+
+  std::printf("\nMMP created %zu maximal messages and promoted %zu;\n",
+              mmp.messages_created, mmp.messages_promoted);
+  std::printf("MMP output %s the holistic run.\n",
+              mmp.matches == full ? "EQUALS" : "differs from");
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "core/cover.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace cem::core {
+namespace {
+
+void Normalize(std::vector<data::EntityId>& entities) {
+  std::sort(entities.begin(), entities.end());
+  entities.erase(std::unique(entities.begin(), entities.end()),
+                 entities.end());
+}
+
+bool ContainsSorted(const std::vector<data::EntityId>& sorted,
+                    data::EntityId e) {
+  return std::binary_search(sorted.begin(), sorted.end(), e);
+}
+
+}  // namespace
+
+Cover::Cover(std::vector<Neighborhood> neighborhoods)
+    : neighborhoods_(std::move(neighborhoods)) {
+  for (Neighborhood& n : neighborhoods_) Normalize(n.entities);
+}
+
+size_t Cover::Add(std::vector<data::EntityId> entities) {
+  Normalize(entities);
+  neighborhoods_.push_back(Neighborhood{std::move(entities)});
+  return neighborhoods_.size() - 1;
+}
+
+void Cover::AddEntityTo(size_t i, data::EntityId entity) {
+  CEM_CHECK(i < neighborhoods_.size());
+  std::vector<data::EntityId>& v = neighborhoods_[i].entities;
+  auto it = std::lower_bound(v.begin(), v.end(), entity);
+  if (it == v.end() || *it != entity) v.insert(it, entity);
+}
+
+size_t Cover::MaxNeighborhoodSize() const {
+  size_t max_size = 0;
+  for (const Neighborhood& n : neighborhoods_) {
+    max_size = std::max(max_size, n.entities.size());
+  }
+  return max_size;
+}
+
+double Cover::MeanNeighborhoodSize() const {
+  if (neighborhoods_.empty()) return 0.0;
+  size_t total = 0;
+  for (const Neighborhood& n : neighborhoods_) total += n.entities.size();
+  return static_cast<double>(total) / neighborhoods_.size();
+}
+
+size_t Cover::TotalContainedPairs(const data::Dataset& dataset) const {
+  size_t total = 0;
+  for (const Neighborhood& n : neighborhoods_) {
+    for (data::EntityId e : n.entities) {
+      for (data::PairId id : dataset.PairsOfEntity(e)) {
+        const data::EntityPair p = dataset.candidate_pair(id).pair;
+        if (p.a == e && ContainsSorted(n.entities, p.b)) ++total;
+      }
+    }
+  }
+  return total;
+}
+
+bool Cover::CoversAllAuthorRefs(const data::Dataset& dataset) const {
+  std::unordered_set<data::EntityId> covered;
+  for (const Neighborhood& n : neighborhoods_) {
+    covered.insert(n.entities.begin(), n.entities.end());
+  }
+  for (data::EntityId ref : dataset.author_refs()) {
+    if (!covered.count(ref)) return false;
+  }
+  return true;
+}
+
+bool Cover::IsTotalForCoauthor(const data::Dataset& dataset) const {
+  // Every Coauthor tuple (u, v) must lie inside some neighborhood.
+  for (data::EntityId u : dataset.author_refs()) {
+    for (data::EntityId v : dataset.Coauthors(u)) {
+      if (v < u) continue;  // Each symmetric tuple once.
+      bool found = false;
+      for (const Neighborhood& n : neighborhoods_) {
+        if (ContainsSorted(n.entities, u) && ContainsSorted(n.entities, v)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+double Cover::CandidatePairCoverage(const data::Dataset& dataset) const {
+  if (dataset.num_candidate_pairs() == 0) return 1.0;
+  std::unordered_set<uint64_t> covered;
+  for (const Neighborhood& n : neighborhoods_) {
+    for (data::EntityId e : n.entities) {
+      for (data::PairId id : dataset.PairsOfEntity(e)) {
+        const data::EntityPair p = dataset.candidate_pair(id).pair;
+        if (p.a == e && ContainsSorted(n.entities, p.b)) {
+          covered.insert(data::PairKey(p));
+        }
+      }
+    }
+  }
+  return static_cast<double>(covered.size()) /
+         static_cast<double>(dataset.num_candidate_pairs());
+}
+
+std::string Cover::Summary(const data::Dataset& dataset) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%zu neighborhoods, max size %zu, mean size %.1f, "
+                "%zu contained pairs, pair coverage %.3f",
+                size(), MaxNeighborhoodSize(), MeanNeighborhoodSize(),
+                TotalContainedPairs(dataset),
+                CandidatePairCoverage(dataset));
+  return buf;
+}
+
+}  // namespace cem::core

@@ -1,0 +1,71 @@
+#ifndef CEM_CORE_COVER_H_
+#define CEM_CORE_COVER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/entity.h"
+
+namespace cem::core {
+
+/// A neighborhood: a small subset of the entities (Section 4). Kept sorted
+/// and duplicate-free.
+struct Neighborhood {
+  std::vector<data::EntityId> entities;
+};
+
+/// A cover: a set of (potentially overlapping) neighborhoods whose union is
+/// the set of entities under consideration (here: the author references —
+/// papers participate through relations only).
+class Cover {
+ public:
+  Cover() = default;
+  explicit Cover(std::vector<Neighborhood> neighborhoods);
+
+  size_t size() const { return neighborhoods_.size(); }
+  bool empty() const { return neighborhoods_.empty(); }
+  const Neighborhood& neighborhood(size_t i) const { return neighborhoods_[i]; }
+  const std::vector<Neighborhood>& neighborhoods() const {
+    return neighborhoods_;
+  }
+
+  /// Adds a neighborhood (sorted/deduplicated on insert); returns its index.
+  size_t Add(std::vector<data::EntityId> entities);
+
+  /// Adds `entity` to neighborhood `i` if not already present.
+  void AddEntityTo(size_t i, data::EntityId entity);
+
+  /// Largest neighborhood size (the paper's k).
+  size_t MaxNeighborhoodSize() const;
+
+  /// Mean neighborhood size.
+  double MeanNeighborhoodSize() const;
+
+  /// Total candidate pairs contained in some neighborhood, counted with
+  /// multiplicity (the paper reports e.g. "13K neighborhoods containing a
+  /// total of 1.3M entity pairs").
+  size_t TotalContainedPairs(const data::Dataset& dataset) const;
+
+  /// True if every author reference appears in some neighborhood.
+  bool CoversAllAuthorRefs(const data::Dataset& dataset) const;
+
+  /// True if this is a *total cover* w.r.t. Coauthor (Definition 7): every
+  /// Coauthor tuple lies inside some neighborhood.
+  bool IsTotalForCoauthor(const data::Dataset& dataset) const;
+
+  /// Fraction of candidate pairs contained in at least one neighborhood
+  /// (1.0 means total w.r.t. the Similar relation).
+  double CandidatePairCoverage(const data::Dataset& dataset) const;
+
+  /// One-line summary for logs and bench output.
+  std::string Summary(const data::Dataset& dataset) const;
+
+ private:
+  std::vector<Neighborhood> neighborhoods_;
+};
+
+}  // namespace cem::core
+
+#endif  // CEM_CORE_COVER_H_

@@ -1,0 +1,91 @@
+#include "core/match_set.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/union_find.h"
+
+namespace cem::core {
+
+MatchSet::MatchSet(const std::vector<data::EntityPair>& pairs) {
+  for (const data::EntityPair& p : pairs) Insert(p);
+}
+
+bool MatchSet::Insert(data::EntityPair pair) {
+  return keys_.insert(data::PairKey(pair)).second;
+}
+
+size_t MatchSet::InsertAll(const MatchSet& other) {
+  size_t added = 0;
+  for (uint64_t key : other.keys_) added += keys_.insert(key).second ? 1 : 0;
+  return added;
+}
+
+bool MatchSet::Erase(data::EntityPair pair) {
+  return keys_.erase(data::PairKey(pair)) > 0;
+}
+
+size_t MatchSet::IntersectionSize(const MatchSet& other) const {
+  const MatchSet& small = size() <= other.size() ? *this : other;
+  const MatchSet& large = size() <= other.size() ? other : *this;
+  size_t count = 0;
+  for (uint64_t key : small.keys_) count += large.keys_.count(key);
+  return count;
+}
+
+bool MatchSet::IsSubsetOf(const MatchSet& other) const {
+  if (size() > other.size()) return false;
+  for (uint64_t key : keys_) {
+    if (!other.keys_.count(key)) return false;
+  }
+  return true;
+}
+
+std::vector<data::EntityPair> MatchSet::Difference(
+    const MatchSet& other) const {
+  std::vector<data::EntityPair> out;
+  for (uint64_t key : keys_) {
+    if (!other.keys_.count(key)) out.push_back(data::PairFromKey(key));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<data::EntityPair> MatchSet::SortedPairs() const {
+  std::vector<data::EntityPair> out;
+  out.reserve(keys_.size());
+  for (uint64_t key : keys_) out.push_back(data::PairFromKey(key));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+MatchSet TransitiveClosure(const MatchSet& matches) {
+  // Compact the mentioned entities, union them, emit all within-component
+  // pairs.
+  std::unordered_map<data::EntityId, uint32_t> dense;
+  std::vector<data::EntityId> ids;
+  auto intern = [&](data::EntityId e) {
+    auto [it, inserted] = dense.emplace(e, static_cast<uint32_t>(ids.size()));
+    if (inserted) ids.push_back(e);
+    return it->second;
+  };
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint64_t key : matches.keys()) {
+    const data::EntityPair p = data::PairFromKey(key);
+    edges.emplace_back(intern(p.a), intern(p.b));
+  }
+  UnionFind uf(ids.size());
+  for (const auto& [u, v] : edges) uf.Union(u, v);
+  std::vector<std::vector<uint32_t>> groups = uf.Groups();
+  MatchSet out;
+  for (const auto& group : groups) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        out.Insert(data::EntityPair(ids[group[i]], ids[group[j]]));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cem::core

@@ -1,0 +1,69 @@
+#ifndef CEM_CORE_MATCH_SET_H_
+#define CEM_CORE_MATCH_SET_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "data/entity.h"
+
+namespace cem::core {
+
+/// A set of entity pairs declared (or assumed) to be matches — the currency
+/// of the whole framework: matcher outputs, evidence sets V+ / V−, and
+/// messages are all MatchSets.
+class MatchSet {
+ public:
+  MatchSet() = default;
+
+  /// Builds a set from a list of pairs.
+  explicit MatchSet(const std::vector<data::EntityPair>& pairs);
+
+  /// Inserts `pair`; returns true if it was new.
+  bool Insert(data::EntityPair pair);
+
+  /// Inserts every pair of `other`; returns the number of new pairs.
+  size_t InsertAll(const MatchSet& other);
+
+  /// Removes `pair`; returns true if it was present.
+  bool Erase(data::EntityPair pair);
+
+  bool Contains(data::EntityPair pair) const {
+    return keys_.count(data::PairKey(pair)) > 0;
+  }
+
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+  void clear() { keys_.clear(); }
+
+  /// Number of pairs present in both sets.
+  size_t IntersectionSize(const MatchSet& other) const;
+
+  /// True if every pair of this set is in `other`.
+  bool IsSubsetOf(const MatchSet& other) const;
+
+  /// Pairs in this set that are missing from `other`.
+  std::vector<data::EntityPair> Difference(const MatchSet& other) const;
+
+  /// All pairs, sorted (deterministic iteration for tests and output).
+  std::vector<data::EntityPair> SortedPairs() const;
+
+  /// Unsorted raw iteration.
+  const std::unordered_set<uint64_t>& keys() const { return keys_; }
+
+  friend bool operator==(const MatchSet& a, const MatchSet& b) {
+    return a.keys_ == b.keys_;
+  }
+
+ private:
+  std::unordered_set<uint64_t> keys_;
+};
+
+/// Transitive closure of `matches` over the entities they mention: pairs
+/// within each connected component. Appendix A: the transitive closure of a
+/// monotone matcher is monotone, so this is a valid post-pass.
+MatchSet TransitiveClosure(const MatchSet& matches);
+
+}  // namespace cem::core
+
+#endif  // CEM_CORE_MATCH_SET_H_

@@ -1,0 +1,35 @@
+#include "core/matcher.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace cem::core {
+
+MatchSet Matcher::MatchAll() const {
+  std::vector<data::EntityId> all(dataset().num_entities());
+  std::iota(all.begin(), all.end(), 0);
+  return Match(all);
+}
+
+std::vector<data::EntityPair> Matcher::EntangledPairs(
+    const std::vector<data::EntityId>& entities, const MatchSet& evidence,
+    const MatchSet& base) const {
+  const data::Dataset& d = dataset();
+  const std::unordered_set<data::EntityId> members(entities.begin(),
+                                                   entities.end());
+  std::vector<data::EntityPair> out;
+  std::unordered_set<uint64_t> seen;
+  for (data::EntityId e : entities) {
+    for (data::PairId id : d.PairsOfEntity(e)) {
+      const data::EntityPair p = d.candidate_pair(id).pair;
+      if (p.a != e || !members.count(p.b)) continue;
+      if (base.Contains(p) || evidence.Contains(p)) continue;
+      if (seen.insert(data::PairKey(p)).second) out.push_back(p);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cem::core

@@ -1,0 +1,39 @@
+#include "core/neighbor_index.h"
+
+#include <algorithm>
+
+namespace cem::core {
+
+const std::vector<uint32_t> NeighborIndex::kEmpty;
+
+NeighborIndex::NeighborIndex(const Cover& cover) {
+  for (uint32_t i = 0; i < cover.size(); ++i) {
+    for (data::EntityId e : cover.neighborhood(i).entities) {
+      if (e >= by_entity_.size()) by_entity_.resize(e + 1);
+      by_entity_[e].push_back(i);
+    }
+  }
+  // Insertion order is already ascending in i; nothing to sort.
+}
+
+const std::vector<uint32_t>& NeighborIndex::NeighborhoodsOf(
+    data::EntityId e) const {
+  if (e >= by_entity_.size()) return kEmpty;
+  return by_entity_[e];
+}
+
+std::vector<uint32_t> NeighborIndex::AffectedBy(
+    const std::vector<data::EntityPair>& pairs) const {
+  std::vector<uint32_t> out;
+  for (const data::EntityPair& p : pairs) {
+    const std::vector<uint32_t>& in_a = NeighborhoodsOf(p.a);
+    const std::vector<uint32_t>& in_b = NeighborhoodsOf(p.b);
+    std::set_intersection(in_a.begin(), in_a.end(), in_b.begin(), in_b.end(),
+                          std::back_inserter(out));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace cem::core

@@ -1,0 +1,177 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "text/similarity_level.h"
+#include "text/token_index.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cem::data {
+
+const std::vector<PairId> Dataset::kNoPairs;
+
+Dataset::Dataset()
+    : authored_("Authored", /*symmetric=*/false),
+      cites_("Cites", /*symmetric=*/false),
+      coauthor_("Coauthor", /*symmetric=*/true) {}
+
+EntityId Dataset::AddEntity(Entity entity) {
+  CEM_CHECK(!finalized_) << "AddEntity after Finalize";
+  entity.id = static_cast<EntityId>(entities_.size());
+  entities_.push_back(std::move(entity));
+  return entities_.back().id;
+}
+
+EntityId Dataset::AddAuthorRef(std::string first_name, std::string last_name,
+                               uint32_t truth) {
+  Entity e;
+  e.type = EntityType::kAuthorRef;
+  e.first_name = std::move(first_name);
+  e.last_name = std::move(last_name);
+  e.truth = truth;
+  EntityId id = AddEntity(std::move(e));
+  author_refs_.push_back(id);
+  return id;
+}
+
+EntityId Dataset::AddPaper(std::string title, int year, uint32_t truth) {
+  Entity e;
+  e.type = EntityType::kPaper;
+  e.title = std::move(title);
+  e.year = year;
+  e.truth = truth;
+  return AddEntity(std::move(e));
+}
+
+void Dataset::AddAuthored(EntityId ref, EntityId paper) {
+  CEM_CHECK(entity(ref).type == EntityType::kAuthorRef);
+  CEM_CHECK(entity(paper).type == EntityType::kPaper);
+  authored_.Add(ref, paper);
+}
+
+void Dataset::AddCites(EntityId from, EntityId to) {
+  CEM_CHECK(entity(from).type == EntityType::kPaper);
+  CEM_CHECK(entity(to).type == EntityType::kPaper);
+  cites_.Add(from, to);
+}
+
+void Dataset::Finalize() {
+  CEM_CHECK(!finalized_);
+  authored_.Finalize();
+  // Coauthor = self-join of Authored on the paper attribute.
+  std::vector<std::vector<EntityId>> refs_of_paper(entities_.size());
+  for (EntityId ref : author_refs_) {
+    for (EntityId paper : authored_.Neighbors(ref)) {
+      refs_of_paper[paper].push_back(ref);
+    }
+  }
+  for (const auto& refs : refs_of_paper) {
+    for (size_t i = 0; i < refs.size(); ++i) {
+      for (size_t j = i + 1; j < refs.size(); ++j) {
+        coauthor_.Add(refs[i], refs[j]);
+      }
+    }
+  }
+  coauthor_.Finalize();
+  cites_.Finalize();
+  finalized_ = true;
+}
+
+void Dataset::BuildCandidatePairs(const CandidateOptions& options) {
+  CEM_CHECK(finalized_) << "BuildCandidatePairs before Finalize";
+  CEM_CHECK(candidate_pairs_.empty()) << "candidate pairs already built";
+
+  // Blocking pass: trigram inverted index over full author names. Documents
+  // are indexed densely by position within author_refs_.
+  text::TokenIndex index;
+  for (size_t i = 0; i < author_refs_.size(); ++i) {
+    const Entity& e = entities_[author_refs_[i]];
+    std::string name = ToLower(e.last_name);
+    std::vector<std::string> grams = CharNgrams(name, 3);
+    // Also index the first-name initial fused with the last name's head so
+    // abbreviated references ("J. Doe") block together with full ones.
+    if (!e.first_name.empty()) {
+      grams.push_back(std::string(1, std::tolower(e.first_name[0])) + "|" +
+                      name.substr(0, std::min<size_t>(2, name.size())));
+    }
+    index.AddDocument(static_cast<uint32_t>(i), grams);
+  }
+
+  for (size_t i = 0; i < author_refs_.size(); ++i) {
+    const Entity& a = entities_[author_refs_[i]];
+    for (const auto& cand :
+         index.Candidates(static_cast<uint32_t>(i), options.min_ngram_overlap)) {
+      if (cand.doc_id <= i) continue;  // Each unordered pair once.
+      const Entity& b = entities_[author_refs_[cand.doc_id]];
+      const text::SimilarityLevel level = text::NameSimilarityLevel(
+          a.first_name, a.last_name, b.first_name, b.last_name,
+          options.thresholds);
+      if (level == text::SimilarityLevel::kNone) continue;
+      candidate_pairs_.push_back({EntityPair(a.id, b.id), level});
+    }
+  }
+  FinalizeCandidatePairs();
+}
+
+void Dataset::AddCandidatePair(EntityId a, EntityId b,
+                               text::SimilarityLevel level) {
+  CEM_CHECK(level != text::SimilarityLevel::kNone);
+  CEM_CHECK(a != b);
+  candidate_pairs_.push_back({EntityPair(a, b), level});
+}
+
+void Dataset::FinalizeCandidatePairs() {
+  std::sort(candidate_pairs_.begin(), candidate_pairs_.end(),
+            [](const CandidatePair& x, const CandidatePair& y) {
+              return x.pair < y.pair;
+            });
+  candidate_pairs_.erase(
+      std::unique(candidate_pairs_.begin(), candidate_pairs_.end(),
+                  [](const CandidatePair& x, const CandidatePair& y) {
+                    return x.pair == y.pair;
+                  }),
+      candidate_pairs_.end());
+  pair_index_.clear();
+  pair_index_.reserve(candidate_pairs_.size() * 2);
+  pairs_of_entity_.assign(entities_.size(), {});
+  for (PairId id = 0; id < candidate_pairs_.size(); ++id) {
+    const EntityPair p = candidate_pairs_[id].pair;
+    pair_index_.emplace(PairKey(p), id);
+    pairs_of_entity_[p.a].push_back(id);
+    pairs_of_entity_[p.b].push_back(id);
+  }
+}
+
+std::optional<PairId> Dataset::FindCandidatePair(EntityId a,
+                                                 EntityId b) const {
+  auto it = pair_index_.find(PairKey(EntityPair(a, b)));
+  if (it == pair_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<PairId>& Dataset::PairsOfEntity(EntityId e) const {
+  if (e >= pairs_of_entity_.size()) return kNoPairs;
+  return pairs_of_entity_[e];
+}
+
+bool Dataset::IsTrueMatch(EntityPair p) const {
+  const Entity& a = entities_[p.a];
+  const Entity& b = entities_[p.b];
+  return a.truth != kNoTruth && b.truth != kNoTruth && a.truth == b.truth &&
+         a.type == b.type;
+}
+
+size_t Dataset::CountTrueMatches() const {
+  // True matches among labelled author refs: sum over clusters of C(n,2).
+  std::unordered_map<uint32_t, size_t> cluster_sizes;
+  for (EntityId ref : author_refs_) {
+    uint32_t t = entities_[ref].truth;
+    if (t != kNoTruth) ++cluster_sizes[t];
+  }
+  size_t total = 0;
+  for (const auto& [label, n] : cluster_sizes) total += n * (n - 1) / 2;
+  return total;
+}
+
+}  // namespace cem::data

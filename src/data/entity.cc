@@ -1,0 +1,11 @@
+#include "data/entity.h"
+
+namespace cem::data {
+
+std::string Entity::DisplayName() const {
+  if (type == EntityType::kPaper) return title;
+  if (first_name.empty()) return last_name;
+  return first_name + " " + last_name;
+}
+
+}  // namespace cem::data

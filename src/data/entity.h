@@ -1,0 +1,73 @@
+#ifndef CEM_DATA_ENTITY_H_
+#define CEM_DATA_ENTITY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cem::data {
+
+/// Dense entity identifier; ids are assigned 0..n-1 by the Dataset.
+using EntityId = uint32_t;
+
+/// Sentinel for "no ground-truth label available".
+inline constexpr uint32_t kNoTruth = 0xffffffffu;
+
+/// Entity kinds of the running example (Example 1 of the paper). A
+/// neighborhood may mix types — e.g. an author reference and a paper —
+/// which is exactly what distinguishes covers from classical blocking.
+enum class EntityType : uint8_t {
+  kAuthorRef = 0,
+  kPaper = 1,
+};
+
+/// A single entity: an author reference (attributes fname/lname) or a paper
+/// (attributes title/year), following Example 1.
+struct Entity {
+  EntityId id = 0;
+  EntityType type = EntityType::kAuthorRef;
+
+  // Author-reference attributes.
+  std::string first_name;
+  std::string last_name;
+
+  // Paper attributes.
+  std::string title;
+  int year = 0;
+
+  /// Ground-truth cluster label (true author id for references, canonical
+  /// paper id for papers); kNoTruth when unlabelled.
+  uint32_t truth = kNoTruth;
+
+  /// Display string, e.g. "J. Doe" or the paper title.
+  std::string DisplayName() const;
+};
+
+/// An unordered pair of entities, stored normalised (a < b). The unit of a
+/// matching decision.
+struct EntityPair {
+  EntityId a = 0;
+  EntityId b = 0;
+
+  EntityPair() = default;
+  EntityPair(EntityId x, EntityId y) : a(x < y ? x : y), b(x < y ? y : x) {}
+
+  friend bool operator==(const EntityPair&, const EntityPair&) = default;
+  friend auto operator<=>(const EntityPair&, const EntityPair&) = default;
+};
+
+/// 64-bit key for hashing an EntityPair.
+inline uint64_t PairKey(EntityPair p) {
+  return (static_cast<uint64_t>(p.a) << 32) | p.b;
+}
+
+/// Inverse of PairKey.
+inline EntityPair PairFromKey(uint64_t key) {
+  EntityPair p;
+  p.a = static_cast<EntityId>(key >> 32);
+  p.b = static_cast<EntityId>(key & 0xffffffffu);
+  return p;
+}
+
+}  // namespace cem::data
+
+#endif  // CEM_DATA_ENTITY_H_

@@ -1,0 +1,64 @@
+#include "data/figure1.h"
+
+#include <utility>
+
+#include "text/similarity_level.h"
+
+namespace cem::data {
+
+Figure1 MakeFigure1() {
+  Figure1 fig;
+  fig.dataset = std::make_unique<Dataset>();
+  Dataset& d = *fig.dataset;
+
+  // Ground-truth authors: 0=A, 1=B, 2=C, 3=D.
+  // First names carry the paper's node labels so example output reads like
+  // the figure; Similar is registered explicitly below, so the labels do
+  // not influence matching.
+  fig.a1 = d.AddAuthorRef("a1", "alpha", 0);
+  fig.a2 = d.AddAuthorRef("a2", "alpha", 0);
+  fig.b1 = d.AddAuthorRef("b1", "beta", 1);
+  fig.b2 = d.AddAuthorRef("b2", "beta", 1);
+  fig.b3 = d.AddAuthorRef("b3", "beta", 1);
+  fig.c1 = d.AddAuthorRef("c1", "gamma", 2);
+  fig.c2 = d.AddAuthorRef("c2", "gamma", 2);
+  fig.c3 = d.AddAuthorRef("c3", "gamma", 2);
+  fig.d1 = d.AddAuthorRef("d1", "delta", 3);
+
+  // One paper per Coauthor edge of Figure 1.
+  const std::pair<EntityId, EntityId> edges[] = {
+      {fig.a1, fig.b2}, {fig.a2, fig.b3}, {fig.b1, fig.c1},
+      {fig.b2, fig.c2}, {fig.b3, fig.c3}, {fig.c1, fig.d1},
+      {fig.c2, fig.d1},
+  };
+  int paper_no = 0;
+  for (const auto& [x, y] : edges) {
+    EntityId paper = d.AddPaper("p" + std::to_string(paper_no++));
+    d.AddAuthored(x, paper);
+    d.AddAuthored(y, paper);
+  }
+  d.Finalize();
+
+  // Similar holds within each letter group (levels are uniform; the demo
+  // weights give every level the same R1 weight).
+  const EntityId groups[][3] = {{fig.a1, fig.a2, fig.a2},
+                                {fig.b1, fig.b2, fig.b3},
+                                {fig.c1, fig.c2, fig.c3}};
+  for (const auto& g : groups) {
+    d.AddCandidatePair(g[0], g[1], text::SimilarityLevel::kMedium);
+    if (g[1] != g[2]) {
+      d.AddCandidatePair(g[0], g[2], text::SimilarityLevel::kMedium);
+      d.AddCandidatePair(g[1], g[2], text::SimilarityLevel::kMedium);
+    }
+  }
+  d.FinalizeCandidatePairs();
+
+  fig.neighborhoods = {
+      {fig.a1, fig.a2, fig.b2, fig.b3},                        // C1
+      {fig.b1, fig.b2, fig.b3, fig.c1, fig.c2, fig.c3},        // C2
+      {fig.c1, fig.c2, fig.d1},                                // C3
+  };
+  return fig;
+}
+
+}  // namespace cem::data

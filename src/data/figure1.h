@@ -1,0 +1,42 @@
+#ifndef CEM_DATA_FIGURE1_H_
+#define CEM_DATA_FIGURE1_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace cem::data {
+
+/// The paper's running example (Figures 1 and 2): author references
+/// a1,a2, b1,b2,b3, c1,c2,c3 and d1 with Coauthor edges
+///   a1–b2, a2–b3, b1–c1, b2–c2, b3–c3, c1–d1, c2–d1
+/// and Similar holding within each letter group. Ground truth: each letter
+/// group is one real author.
+///
+/// With the §2.1 demo weights (R1 = -5, R2 = +8; see
+/// mln::MlnWeights::Figure1Demo()) this instance reproduces every deduction
+/// in the paper's overview:
+///  * (c1,c2) matches in isolation (shared coauthor d1);
+///  * (b1,b2) matches only given Match(c1,c2) as evidence — SMP recovers it;
+///  * the chain {(a1,a2),(b2,b3),(c2,c3)} is profitable only as a whole —
+///    only MMP recovers it (via maximal messages from C1 and C2).
+struct Figure1 {
+  std::unique_ptr<Dataset> dataset;
+
+  // Named entity ids for tests and examples.
+  EntityId a1, a2, b1, b2, b3, c1, c2, c3, d1;
+
+  /// The three neighborhoods of Figure 2:
+  ///   C1 = {a1,a2,b2,b3}, C2 = {b1,b2,b3,c1,c2,c3}, C3 = {c1,c2,d1}.
+  /// Together they form a total cover w.r.t. the induced Coauthor tuples
+  /// used by the example.
+  std::vector<std::vector<EntityId>> neighborhoods;
+};
+
+/// Builds the Figure 1 instance.
+Figure1 MakeFigure1();
+
+}  // namespace cem::data
+
+#endif  // CEM_DATA_FIGURE1_H_

@@ -1,0 +1,45 @@
+#include "data/relation.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cem::data {
+
+const std::vector<EntityId> Relation::kEmpty;
+
+Relation::Relation(std::string name, bool symmetric)
+    : name_(std::move(name)), symmetric_(symmetric) {}
+
+void Relation::Add(EntityId u, EntityId v) {
+  CEM_CHECK(!finalized_) << "Add after Finalize on relation " << name_;
+  if (u == v) return;
+  const EntityId hi = std::max(u, v);
+  if (hi >= adjacency_.size()) adjacency_.resize(hi + 1);
+  adjacency_[u].push_back(v);
+  if (symmetric_) adjacency_[v].push_back(u);
+}
+
+void Relation::Finalize() {
+  num_tuples_ = 0;
+  for (auto& neighbors : adjacency_) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+    num_tuples_ += neighbors.size();
+  }
+  finalized_ = true;
+}
+
+const std::vector<EntityId>& Relation::Neighbors(EntityId u) const {
+  CEM_CHECK(finalized_) << "query before Finalize on relation " << name_;
+  if (u >= adjacency_.size()) return kEmpty;
+  return adjacency_[u];
+}
+
+bool Relation::Contains(EntityId u, EntityId v) const {
+  const std::vector<EntityId>& neighbors = Neighbors(u);
+  return std::binary_search(neighbors.begin(), neighbors.end(), v);
+}
+
+}  // namespace cem::data

@@ -1,0 +1,52 @@
+#ifndef CEM_DATA_RELATION_H_
+#define CEM_DATA_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/entity.h"
+
+namespace cem::data {
+
+/// A binary relation over entities (e.g. Authored, Cites, Coauthor),
+/// stored as adjacency lists for O(1) neighbour enumeration. Symmetric
+/// relations (Coauthor) store both directions.
+class Relation {
+ public:
+  /// Creates an empty relation. `symmetric` relations store tuples in both
+  /// directions; asymmetric ones (Authored, Cites) only as given.
+  explicit Relation(std::string name, bool symmetric);
+
+  const std::string& name() const { return name_; }
+  bool symmetric() const { return symmetric_; }
+
+  /// Adds the tuple (u, v); for symmetric relations also (v, u).
+  /// Self-tuples (u == u) are ignored. Duplicate tuples are collapsed on
+  /// Finalize().
+  void Add(EntityId u, EntityId v);
+
+  /// Sorts and deduplicates adjacency lists. Must be called before queries.
+  void Finalize();
+
+  /// Neighbours of `u` (sorted, unique after Finalize()).
+  const std::vector<EntityId>& Neighbors(EntityId u) const;
+
+  /// True if the tuple (u, v) is present (after Finalize()).
+  bool Contains(EntityId u, EntityId v) const;
+
+  /// Number of stored directed tuples (after Finalize()).
+  size_t num_tuples() const { return num_tuples_; }
+
+ private:
+  std::string name_;
+  bool symmetric_;
+  bool finalized_ = false;
+  size_t num_tuples_ = 0;
+  std::vector<std::vector<EntityId>> adjacency_;
+  static const std::vector<EntityId> kEmpty;
+};
+
+}  // namespace cem::data
+
+#endif  // CEM_DATA_RELATION_H_

@@ -1,0 +1,109 @@
+#include "data/tsv_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace cem::data {
+namespace {
+
+// Record kinds in the TSV stream.
+constexpr char kAuthorTag[] = "A";
+constexpr char kPaperTag[] = "P";
+constexpr char kAuthoredTag[] = "W";  // "wrote"
+constexpr char kCitesTag[] = "C";
+
+}  // namespace
+
+Status SaveDatasetTsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return InvalidArgumentError("cannot open for writing: " + path);
+  for (const Entity& e : dataset.entities()) {
+    if (e.type == EntityType::kAuthorRef) {
+      out << kAuthorTag << '\t' << e.id << '\t' << e.first_name << '\t'
+          << e.last_name << '\t' << static_cast<int64_t>(e.truth) << '\n';
+    } else {
+      out << kPaperTag << '\t' << e.id << '\t' << e.title << '\t' << e.year
+          << '\t' << static_cast<int64_t>(e.truth) << '\n';
+    }
+  }
+  for (const Entity& e : dataset.entities()) {
+    if (e.type != EntityType::kAuthorRef) continue;
+    for (EntityId paper : dataset.authored().Neighbors(e.id)) {
+      out << kAuthoredTag << '\t' << e.id << '\t' << paper << '\n';
+    }
+  }
+  for (const Entity& e : dataset.entities()) {
+    if (e.type != EntityType::kPaper) continue;
+    for (EntityId to : dataset.cites().Neighbors(e.id)) {
+      out << kCitesTag << '\t' << e.id << '\t' << to << '\n';
+    }
+  }
+  if (!out.good()) return InternalError("write failed: " + path);
+  return OkStatus();
+}
+
+Result<std::unique_ptr<Dataset>> LoadDatasetTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return InvalidArgumentError("cannot open for reading: " + path);
+  auto dataset = std::make_unique<Dataset>();
+  // Entity ids in the file must be dense and in insertion order; we verify.
+  std::string line;
+  size_t line_no = 0;
+  // Relation tuples are buffered until all entities exist.
+  std::vector<std::pair<EntityId, EntityId>> authored_tuples;
+  std::vector<std::pair<EntityId, EntityId>> cites_tuples;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = Split(line, '\t');
+    auto bad = [&](const std::string& why) {
+      return InvalidArgumentError(path + ":" + std::to_string(line_no) +
+                                  ": " + why);
+    };
+    if (fields[0] == kAuthorTag) {
+      if (fields.size() != 5) return bad("author record needs 5 fields");
+      const EntityId id = dataset->AddAuthorRef(
+          fields[2], fields[3],
+          static_cast<uint32_t>(std::stoll(fields[4])));
+      if (id != static_cast<EntityId>(std::stoul(fields[1]))) {
+        return bad("non-dense entity id");
+      }
+    } else if (fields[0] == kPaperTag) {
+      if (fields.size() != 5) return bad("paper record needs 5 fields");
+      const EntityId id = dataset->AddPaper(
+          fields[2], std::stoi(fields[3]),
+          static_cast<uint32_t>(std::stoll(fields[4])));
+      if (id != static_cast<EntityId>(std::stoul(fields[1]))) {
+        return bad("non-dense entity id");
+      }
+    } else if (fields[0] == kAuthoredTag) {
+      if (fields.size() != 3) return bad("authored record needs 3 fields");
+      authored_tuples.emplace_back(std::stoul(fields[1]),
+                                   std::stoul(fields[2]));
+    } else if (fields[0] == kCitesTag) {
+      if (fields.size() != 3) return bad("cites record needs 3 fields");
+      cites_tuples.emplace_back(std::stoul(fields[1]), std::stoul(fields[2]));
+    } else {
+      return bad("unknown record tag '" + fields[0] + "'");
+    }
+  }
+  for (const auto& [ref, paper] : authored_tuples) {
+    if (ref >= dataset->num_entities() || paper >= dataset->num_entities()) {
+      return InvalidArgumentError(path + ": authored tuple out of range");
+    }
+    dataset->AddAuthored(ref, paper);
+  }
+  for (const auto& [from, to] : cites_tuples) {
+    if (from >= dataset->num_entities() || to >= dataset->num_entities()) {
+      return InvalidArgumentError(path + ": cites tuple out of range");
+    }
+    dataset->AddCites(from, to);
+  }
+  dataset->Finalize();
+  return dataset;
+}
+
+}  // namespace cem::data

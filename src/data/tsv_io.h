@@ -1,0 +1,22 @@
+#ifndef CEM_DATA_TSV_IO_H_
+#define CEM_DATA_TSV_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace cem::data {
+
+/// Saves `dataset` (entities, Authored, Cites, ground truth) to a TSV file.
+/// Candidate pairs are not saved; rebuild them after loading.
+Status SaveDatasetTsv(const Dataset& dataset, const std::string& path);
+
+/// Loads a dataset saved by SaveDatasetTsv. The result is Finalize()d but
+/// candidate pairs are NOT built; call BuildCandidatePairs() as needed.
+Result<std::unique_ptr<Dataset>> LoadDatasetTsv(const std::string& path);
+
+}  // namespace cem::data
+
+#endif  // CEM_DATA_TSV_IO_H_

@@ -1,0 +1,57 @@
+#include "eval/metrics.h"
+
+#include <cstdio>
+
+namespace cem::eval {
+
+std::string PrMetrics::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "P=%.3f R=%.3f F1=%.3f (tp=%zu fp=%zu)",
+                precision, recall, f1, true_positives, false_positives);
+  return buf;
+}
+
+PrMetrics ComputePr(const data::Dataset& dataset,
+                    const core::MatchSet& matches) {
+  PrMetrics m;
+  size_t labelled = 0;
+  for (uint64_t key : matches.keys()) {
+    const data::EntityPair p = data::PairFromKey(key);
+    const data::Entity& a = dataset.entity(p.a);
+    const data::Entity& b = dataset.entity(p.b);
+    if (a.truth == data::kNoTruth || b.truth == data::kNoTruth) continue;
+    ++labelled;
+    if (dataset.IsTrueMatch(p)) {
+      ++m.true_positives;
+    } else {
+      ++m.false_positives;
+    }
+  }
+  m.total_true = dataset.CountTrueMatches();
+  m.precision = labelled == 0
+                    ? 1.0
+                    : static_cast<double>(m.true_positives) / labelled;
+  m.recall = m.total_true == 0
+                 ? 1.0
+                 : static_cast<double>(m.true_positives) / m.total_true;
+  m.f1 = (m.precision + m.recall) == 0
+             ? 0.0
+             : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+double Soundness(const core::MatchSet& produced,
+                 const core::MatchSet& reference) {
+  if (produced.empty()) return 1.0;
+  return static_cast<double>(produced.IntersectionSize(reference)) /
+         static_cast<double>(produced.size());
+}
+
+double Completeness(const core::MatchSet& produced,
+                    const core::MatchSet& reference) {
+  if (reference.empty()) return 1.0;
+  return static_cast<double>(produced.IntersectionSize(reference)) /
+         static_cast<double>(reference.size());
+}
+
+}  // namespace cem::eval

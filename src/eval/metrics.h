@@ -1,0 +1,44 @@
+#ifndef CEM_EVAL_METRICS_H_
+#define CEM_EVAL_METRICS_H_
+
+#include <string>
+
+#include "core/match_set.h"
+#include "data/dataset.h"
+
+namespace cem::eval {
+
+/// Pairwise precision/recall/F1 of a match set against the dataset's ground
+/// truth. Recall's denominator is the number of true-match pairs among
+/// labelled author references (all of them, not only candidate pairs, so
+/// blocking losses count against recall as they would in the paper).
+struct PrMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t total_true = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes pairwise metrics. Matches between unlabelled entities are
+/// ignored; apply core::TransitiveClosure first to score cluster-level
+/// output (the benches do).
+PrMetrics ComputePr(const data::Dataset& dataset,
+                    const core::MatchSet& matches);
+
+/// Soundness of `produced` w.r.t. a reference run (Section 2.2.1):
+/// |produced ∩ reference| / |produced|; 1.0 for empty `produced`.
+double Soundness(const core::MatchSet& produced,
+                 const core::MatchSet& reference);
+
+/// Completeness of `produced` w.r.t. a reference run (Section 2.2.1):
+/// |produced ∩ reference| / |reference|; 1.0 for empty `reference`.
+double Completeness(const core::MatchSet& produced,
+                    const core::MatchSet& reference);
+
+}  // namespace cem::eval
+
+#endif  // CEM_EVAL_METRICS_H_

@@ -1,0 +1,31 @@
+#include "eval/upper_bound.h"
+
+#include "mln/grounding.h"
+
+namespace cem::eval {
+
+core::MatchSet UpperBoundMatches(const mln::MlnMatcher& matcher,
+                                 const core::MatchSet* reference) {
+  const data::Dataset& dataset = matcher.dataset();
+  const mln::PairGraph& graph = matcher.pair_graph();
+  const mln::MlnWeights& weights = matcher.weights();
+
+  auto is_positive = [&](data::EntityPair p) {
+    return reference != nullptr ? reference->Contains(p)
+                                : dataset.IsTrueMatch(p);
+  };
+
+  core::MatchSet out;
+  for (data::PairId id = 0; id < graph.num_nodes(); ++id) {
+    const mln::PairGraph::Node& node = graph.node(id);
+    double score = graph.GlobalTheta(id, weights);
+    for (data::PairId q : graph.node(id).links) {
+      if (is_positive(graph.node(q).pair)) score += weights.w_coauthor;
+    }
+    // Maximal-set tie-break: matched at score exactly zero.
+    if (score >= 0.0) out.Insert(node.pair);
+  }
+  return out;
+}
+
+}  // namespace cem::eval

@@ -1,0 +1,32 @@
+#ifndef CEM_EVAL_UPPER_BOUND_H_
+#define CEM_EVAL_UPPER_BOUND_H_
+
+#include "core/match_set.h"
+#include "mln/mln_matcher.h"
+
+namespace cem::eval {
+
+/// The paper's UB scheme (Section 6.1): for each entity pair, give the MLN
+/// the ground truth about *all other* pairs as evidence and decide that one
+/// pair. By supermodularity this over-approximates the recall of the
+/// (infeasible) full MLN run, so it serves as the upper-bound series of
+/// Figures 3(a)-(c). Not an algorithm — it reads the ground truth.
+///
+/// With every other variable clamped, MAP inference closes over a single
+/// free variable, so the decision is exact and cheap: pair p is matched iff
+///   w_sim[level(p)] + w_co * (shared coauthors) +
+///   w_co * (link partners whose ground truth is "match") >= 0,
+/// with the Type-II tie-break matching at equality.
+///
+/// If `reference` is non-null it replaces the ground truth as the clamping
+/// assignment. Supermodularity then gives the *provable* containment
+///   UpperBoundMatches(m, &S) ⊇ S  whenever S = m.MatchAll()
+/// (each matched pair stays matched when everything else it relies on is
+/// clamped the same way) — the formal property behind the paper's "UB
+/// recall bounds full-run recall" argument, which the property tests check.
+core::MatchSet UpperBoundMatches(const mln::MlnMatcher& matcher,
+                                 const core::MatchSet* reference = nullptr);
+
+}  // namespace cem::eval
+
+#endif  // CEM_EVAL_UPPER_BOUND_H_

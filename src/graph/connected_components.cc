@@ -1,0 +1,15 @@
+#include "graph/connected_components.h"
+
+#include "util/union_find.h"
+
+namespace cem::graph {
+
+std::vector<std::vector<uint32_t>> ConnectedComponents(
+    uint32_t num_nodes,
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  UnionFind uf(num_nodes);
+  for (const auto& [u, v] : edges) uf.Union(u, v);
+  return uf.Groups();
+}
+
+}  // namespace cem::graph

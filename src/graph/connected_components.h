@@ -1,0 +1,20 @@
+#ifndef CEM_GRAPH_CONNECTED_COMPONENTS_H_
+#define CEM_GRAPH_CONNECTED_COMPONENTS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cem::graph {
+
+/// Connected components of an undirected graph on nodes 0..num_nodes-1 given
+/// as an edge list. Returns one sorted vector of node ids per component,
+/// components ordered by smallest member. Used by COMPUTEMAXIMAL
+/// (Algorithm 2) to turn the mutual-entailment graph into maximal messages.
+std::vector<std::vector<uint32_t>> ConnectedComponents(
+    uint32_t num_nodes,
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+}  // namespace cem::graph
+
+#endif  // CEM_GRAPH_CONNECTED_COMPONENTS_H_

@@ -1,0 +1,246 @@
+#include "mln/map_inference.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/max_flow.h"
+#include "util/logging.h"
+
+namespace cem::mln {
+namespace {
+
+/// Clamp states of a variable inside one inference call.
+enum class Clamp : uint8_t { kFree, kOne, kZero };
+
+/// The induced subproblem: variables (candidate pairs fully inside C),
+/// their clamp states and induced unary weights, and the induced links.
+struct Induced {
+  std::vector<data::PairId> vars;                 // All in-C candidate pairs.
+  std::unordered_map<data::PairId, int> index;    // PairId -> position.
+  std::vector<Clamp> clamp;
+  std::vector<double> theta;                      // Induced unary weight.
+  // Links between in-C variables, each unordered link once (i < j by
+  // position).
+  std::vector<std::pair<int, int>> links;
+};
+
+bool InMembers(const std::unordered_set<data::EntityId>& members,
+               data::EntityId e) {
+  return members.count(e) > 0;
+}
+
+Induced BuildInduced(const data::Dataset& dataset, const PairGraph& graph,
+                     const MlnWeights& weights,
+                     const std::unordered_set<data::EntityId>& members,
+                     const core::MatchSet& positive,
+                     const core::MatchSet& negative) {
+  Induced induced;
+  // Collect candidate pairs fully inside C, each once.
+  for (data::EntityId e : members) {
+    for (data::PairId id : dataset.PairsOfEntity(e)) {
+      const data::EntityPair p = graph.node(id).pair;
+      // Each pair is seen from both endpoints; take it from the smaller.
+      if (p.a != e) continue;
+      if (!InMembers(members, p.b)) continue;
+      induced.index.emplace(id, static_cast<int>(induced.vars.size()));
+      induced.vars.push_back(id);
+    }
+  }
+  const size_t n = induced.vars.size();
+  induced.clamp.resize(n, Clamp::kFree);
+  induced.theta.resize(n, 0.0);
+
+  for (size_t i = 0; i < n; ++i) {
+    const PairGraph::Node& node = graph.node(induced.vars[i]);
+    if (negative.Contains(node.pair)) {
+      induced.clamp[i] = Clamp::kZero;
+    } else if (positive.Contains(node.pair)) {
+      induced.clamp[i] = Clamp::kOne;
+    }
+    // Induced unary: similarity rule + reflexive groundings whose shared
+    // coauthor lies inside C.
+    double theta = weights.SimWeight(node.level);
+    for (data::EntityId c : node.shared_coauthors) {
+      if (InMembers(members, c)) theta += weights.w_coauthor;
+    }
+    induced.theta[i] = theta;
+  }
+
+  // Induced links. A link {p, q} is inside C iff q is an in-C variable
+  // (p already is); record once per unordered link.
+  for (size_t i = 0; i < n; ++i) {
+    const PairGraph::Node& node = graph.node(induced.vars[i]);
+    for (data::PairId q : node.links) {
+      auto it = induced.index.find(q);
+      if (it == induced.index.end()) continue;
+      const int j = it->second;
+      if (static_cast<int>(i) < j) induced.links.emplace_back(i, j);
+    }
+  }
+  return induced;
+}
+
+}  // namespace
+
+double InducedScore(const data::Dataset& dataset, const PairGraph& graph,
+                    const MlnWeights& weights,
+                    const std::unordered_set<data::EntityId>& members,
+                    const core::MatchSet& matches) {
+  const Induced induced = BuildInduced(dataset, graph, weights, members,
+                                       /*positive=*/core::MatchSet(),
+                                       /*negative=*/core::MatchSet());
+  double score = 0.0;
+  std::vector<bool> x(induced.vars.size(), false);
+  for (size_t i = 0; i < induced.vars.size(); ++i) {
+    x[i] = matches.Contains(graph.node(induced.vars[i]).pair);
+    if (x[i]) score += induced.theta[i];
+  }
+  for (const auto& [i, j] : induced.links) {
+    if (x[i] && x[j]) score += weights.w_coauthor;
+  }
+  return score;
+}
+
+core::MatchSet SolveNeighborhoodMap(
+    const data::Dataset& dataset, const PairGraph& graph,
+    const MlnWeights& weights,
+    const std::unordered_set<data::EntityId>& members,
+    const core::MatchSet& positive, const core::MatchSet& negative,
+    InferenceStats* stats) {
+  const Induced induced =
+      BuildInduced(dataset, graph, weights, members, positive, negative);
+  const size_t n = induced.vars.size();
+
+  // Fold clamped variables into the free subproblem.
+  std::vector<int> free_index(n, -1);
+  int num_free = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (induced.clamp[i] == Clamp::kFree) free_index[i] = num_free++;
+  }
+  std::vector<double> theta(num_free);
+  for (size_t i = 0; i < n; ++i) {
+    if (free_index[i] >= 0) theta[free_index[i]] = induced.theta[i];
+  }
+  std::vector<std::pair<int, int>> free_links;
+  for (const auto& [i, j] : induced.links) {
+    const Clamp ci = induced.clamp[i];
+    const Clamp cj = induced.clamp[j];
+    if (ci == Clamp::kFree && cj == Clamp::kFree) {
+      free_links.emplace_back(free_index[i], free_index[j]);
+    } else if (ci == Clamp::kFree && cj == Clamp::kOne) {
+      theta[free_index[i]] += weights.w_coauthor;
+    } else if (cj == Clamp::kFree && ci == Clamp::kOne) {
+      theta[free_index[j]] += weights.w_coauthor;
+    }
+    // Links to clamped-zero variables never fire.
+  }
+
+  if (stats != nullptr) {
+    stats->num_variables = static_cast<size_t>(num_free);
+    stats->num_clamped = n - static_cast<size_t>(num_free);
+    stats->num_edges = free_links.size();
+  }
+
+  // Maximise sum(theta_i x_i) + sum(w x_i x_j)  ==  min-cut (see DESIGN.md).
+  std::vector<bool> x(num_free, false);
+  if (num_free > 0) {
+    const double w = weights.w_coauthor;
+    CEM_CHECK(w >= 0.0) << "attractive coauthor weight required for exact "
+                           "graph-cut inference";
+    std::vector<double> unary_cost(theta.begin(), theta.end());
+    // c_i = -theta_i - (w/2) * degree_i ; pairwise w/2 both ways.
+    std::vector<double> c(num_free);
+    for (int i = 0; i < num_free; ++i) c[i] = -theta[i];
+    for (const auto& [i, j] : free_links) {
+      c[i] -= w / 2.0;
+      c[j] -= w / 2.0;
+    }
+    graph::MaxFlow flow(num_free + 2);
+    const int source = num_free;
+    const int sink = num_free + 1;
+    for (int i = 0; i < num_free; ++i) {
+      if (c[i] > 0) {
+        flow.AddEdge(i, sink, c[i]);
+      } else if (c[i] < 0) {
+        flow.AddEdge(source, i, -c[i]);
+      }
+    }
+    for (const auto& [i, j] : free_links) {
+      flow.AddEdge(i, j, w / 2.0, w / 2.0);
+    }
+    flow.Solve(source, sink);
+    const std::vector<bool> on_source_side = flow.SinkUnreachableSet();
+    for (int i = 0; i < num_free; ++i) x[i] = on_source_side[i];
+    (void)unary_cost;
+  }
+
+  core::MatchSet out;
+  for (size_t i = 0; i < n; ++i) {
+    if (induced.clamp[i] == Clamp::kOne ||
+        (free_index[i] >= 0 && x[free_index[i]])) {
+      out.Insert(graph.node(induced.vars[i]).pair);
+    }
+  }
+  return out;
+}
+
+core::MatchSet BruteForceMap(
+    const data::Dataset& dataset, const PairGraph& graph,
+    const MlnWeights& weights,
+    const std::unordered_set<data::EntityId>& members,
+    const core::MatchSet& positive, const core::MatchSet& negative) {
+  const Induced induced =
+      BuildInduced(dataset, graph, weights, members, positive, negative);
+  const size_t n = induced.vars.size();
+
+  std::vector<int> free_vars;
+  for (size_t i = 0; i < n; ++i) {
+    if (induced.clamp[i] == Clamp::kFree) free_vars.push_back(static_cast<int>(i));
+  }
+  CEM_CHECK(free_vars.size() <= 25) << "brute force limited to 25 variables";
+
+  std::vector<bool> x(n, false);
+  for (size_t i = 0; i < n; ++i) x[i] = induced.clamp[i] == Clamp::kOne;
+
+  auto score_of = [&](const std::vector<bool>& assignment) {
+    double score = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (assignment[i]) score += induced.theta[i];
+    }
+    for (const auto& [i, j] : induced.links) {
+      if (assignment[i] && assignment[j]) score += weights.w_coauthor;
+    }
+    return score;
+  };
+
+  double best_score = -1e300;
+  size_t best_size = 0;
+  std::vector<bool> best = x;
+  const uint64_t limit = 1ull << free_vars.size();
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    std::vector<bool> assignment = x;
+    size_t size = 0;
+    for (size_t k = 0; k < free_vars.size(); ++k) {
+      assignment[free_vars[k]] = (mask >> k) & 1;
+    }
+    for (size_t i = 0; i < n; ++i) size += assignment[i] ? 1 : 0;
+    const double score = score_of(assignment);
+    // Largest most-likely set: better score wins; equal score prefers the
+    // larger set (tolerance guards float ties).
+    if (score > best_score + 1e-9 ||
+        (score > best_score - 1e-9 && size > best_size)) {
+      best_score = score;
+      best_size = size;
+      best = assignment;
+    }
+  }
+
+  core::MatchSet out;
+  for (size_t i = 0; i < n; ++i) {
+    if (best[i]) out.Insert(graph.node(induced.vars[i]).pair);
+  }
+  (void)dataset;
+  return out;
+}
+
+}  // namespace cem::mln

@@ -1,0 +1,15 @@
+#include "mln/mln_program.h"
+
+#include <cstdio>
+
+namespace cem::mln {
+
+std::string MlnWeights::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "MlnWeights{sim1=%.3f sim2=%.3f sim3=%.3f coauthor=%.3f}",
+                w_sim[1], w_sim[2], w_sim[3], w_coauthor);
+  return buf;
+}
+
+}  // namespace cem::mln

@@ -1,0 +1,86 @@
+#include "mln/weight_learner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cem::mln {
+namespace {
+
+double ClampedLogOdds(double successes, double total, double smoothing,
+                      double max_abs) {
+  const double p = (successes + smoothing) / (total + 2.0 * smoothing);
+  const double w = std::log(p / (1.0 - p));
+  return std::clamp(w, -max_abs, max_abs);
+}
+
+}  // namespace
+
+MlnWeights LearnWeights(const data::Dataset& dataset,
+                        const LearnOptions& options) {
+  const PairGraph graph = PairGraph::Build(dataset);
+
+  // Per-level counts, split by whether the pair has true-match coauthor
+  // support (a shared coauthor, or a linked pair that is a true match).
+  double matches[4] = {0, 0, 0, 0};
+  double totals[4] = {0, 0, 0, 0};
+  double supported_matches[4] = {0, 0, 0, 0};
+  double supported_totals[4] = {0, 0, 0, 0};
+  double unsupported_matches[4] = {0, 0, 0, 0};
+  double unsupported_totals[4] = {0, 0, 0, 0};
+
+  for (data::PairId id = 0; id < graph.num_nodes(); ++id) {
+    const PairGraph::Node& node = graph.node(id);
+    const int level = static_cast<int>(node.level);
+    const bool is_match = dataset.IsTrueMatch(node.pair);
+    bool supported = !node.shared_coauthors.empty();
+    if (!supported) {
+      for (data::PairId q : node.links) {
+        if (dataset.IsTrueMatch(graph.node(q).pair)) {
+          supported = true;
+          break;
+        }
+      }
+    }
+    totals[level] += 1;
+    matches[level] += is_match ? 1 : 0;
+    if (supported) {
+      supported_totals[level] += 1;
+      supported_matches[level] += is_match ? 1 : 0;
+    } else {
+      unsupported_totals[level] += 1;
+      unsupported_matches[level] += is_match ? 1 : 0;
+    }
+  }
+
+  MlnWeights weights;
+  for (int level = 1; level <= 3; ++level) {
+    weights.w_sim[level] =
+        ClampedLogOdds(matches[level], totals[level], options.smoothing,
+                       options.max_abs_weight);
+  }
+
+  // Coauthor weight: averaged log-odds lift across levels with data.
+  double lift_sum = 0;
+  double lift_count = 0;
+  for (int level = 1; level <= 3; ++level) {
+    if (supported_totals[level] < 1 || unsupported_totals[level] < 1) continue;
+    const double with_support =
+        ClampedLogOdds(supported_matches[level], supported_totals[level],
+                       options.smoothing, options.max_abs_weight);
+    const double without_support =
+        ClampedLogOdds(unsupported_matches[level], unsupported_totals[level],
+                       options.smoothing, options.max_abs_weight);
+    lift_sum += with_support - without_support;
+    lift_count += 1;
+  }
+  if (lift_count > 0) {
+    // The coauthor rule must stay attractive for exact inference; an
+    // (unexpected) negative lift is floored at a small positive weight.
+    weights.w_coauthor = std::max(0.1, lift_sum / lift_count);
+  }
+  return weights;
+}
+
+}  // namespace cem::mln

@@ -1,0 +1,66 @@
+#ifndef CEM_RULES_RULES_MATCHER_H_
+#define CEM_RULES_RULES_MATCHER_H_
+
+#include <vector>
+
+#include "core/matcher.h"
+#include "mln/grounding.h"
+
+namespace cem::rules {
+
+/// Configuration of the RULES program (Appendix B). The default thresholds
+/// encode the paper's three rules:
+///   1. similar(e1,e2,3)                                  => equals(e1,e2)
+///   2. similar(e1,e2,2) ∧ one matching coauthor pair     => equals(e1,e2)
+///   3. similar(e1,e2,1) ∧ two distinct matching
+///      coauthor pairs                                    => equals(e1,e2)
+/// "Matching coauthor pair" counts both reflexive support (a shared
+/// coauthor c, since equals(c,c) holds) and linked pairs already matched.
+struct RulesConfig {
+  /// required_support[s]: matching coauthor pairs needed at similarity
+  /// level s (index 0 unused; a negative value disables matches at that
+  /// level entirely).
+  int required_support[4] = {0, 2, 1, 0};
+
+  /// Apply transitive closure inside each run. Default OFF: closure breaks
+  /// idempotence/monotonicity (Appendix A: transitivity is the problematic
+  /// constraint), which costs SMP its soundness guarantee. The paper's
+  /// prescription — closure "at the end of each iteration of message
+  /// passing" — is realised by applying core::TransitiveClosure to the
+  /// final match set as a framework post-pass, which is what the Figure 4
+  /// benches do.
+  bool transitive_closure = false;
+};
+
+/// The declarative (Dedupalog-style [2]) collective matcher — a Type-I
+/// black box. Evaluation is a monotone fixpoint: rules fire on the current
+/// match set until nothing changes, then (optionally) a transitive closure
+/// is applied. This realises the positive, transitivity-free Dedupalog*
+/// fragment, which the paper proves monotone (Proposition 5).
+///
+/// RULES has linear-ish complexity and, unlike MLN, can feasibly run on the
+/// full dataset ("FULL" in Figure 4) — which is exactly why the paper uses
+/// it to measure SMP's soundness/completeness exactly.
+class RulesMatcher : public core::Matcher {
+ public:
+  /// The dataset must outlive the matcher and have candidate pairs built.
+  explicit RulesMatcher(const data::Dataset& dataset, RulesConfig config = {});
+
+  core::MatchSet Match(const std::vector<data::EntityId>& entities,
+                       const core::MatchSet& positive,
+                       const core::MatchSet& negative) const override;
+  using core::Matcher::Match;
+
+  const data::Dataset& dataset() const override { return *dataset_; }
+
+  const RulesConfig& config() const { return config_; }
+
+ private:
+  const data::Dataset* dataset_;
+  RulesConfig config_;
+  mln::PairGraph graph_;  // Reused as the support-structure index.
+};
+
+}  // namespace cem::rules
+
+#endif  // CEM_RULES_RULES_MATCHER_H_

@@ -1,0 +1,29 @@
+#include "text/jaccard.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace cem::text {
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  std::set<std::string> sa(a.begin(), a.end());
+  std::set<std::string> sb(b.begin(), b.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t intersection = 0;
+  for (const std::string& t : sa) intersection += sb.count(t);
+  const size_t uni = sa.size() + sb.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  return JaccardSimilarity(SplitWhitespace(a), SplitWhitespace(b));
+}
+
+double NgramJaccard(std::string_view a, std::string_view b, size_t n) {
+  return JaccardSimilarity(CharNgrams(a, n), CharNgrams(b, n));
+}
+
+}  // namespace cem::text

@@ -1,0 +1,24 @@
+#ifndef CEM_TEXT_JACCARD_H_
+#define CEM_TEXT_JACCARD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cem::text {
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| over two token multisets (treated as
+/// sets). Returns 1.0 when both are empty.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Jaccard over whitespace tokens of the two strings.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Jaccard over character n-grams (default trigrams) — the cheap distance
+/// used by the canopy pass.
+double NgramJaccard(std::string_view a, std::string_view b, size_t n = 3);
+
+}  // namespace cem::text
+
+#endif  // CEM_TEXT_JACCARD_H_

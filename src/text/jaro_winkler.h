@@ -1,0 +1,23 @@
+#ifndef CEM_TEXT_JARO_WINKLER_H_
+#define CEM_TEXT_JARO_WINKLER_H_
+
+#include <string_view>
+
+namespace cem::text {
+
+/// Jaro similarity in [0, 1]; 1 means identical, 0 means no common
+/// characters. Symmetric.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity in [0, 1] — the string measure the paper uses for
+/// the `similar` predicate (Appendix B). Boosts Jaro by a prefix bonus of up
+/// to 4 shared leading characters.
+///
+/// `prefix_scale` is the standard Winkler scaling factor (default 0.1; must
+/// be <= 0.25 for the result to stay within [0, 1]).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+}  // namespace cem::text
+
+#endif  // CEM_TEXT_JARO_WINKLER_H_

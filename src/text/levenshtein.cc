@@ -1,0 +1,31 @@
+#include "text/levenshtein.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cem::text {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  // Two-row dynamic program over the shorter string.
+  std::vector<size_t> prev(a.size() + 1);
+  std::vector<size_t> cur(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) prev[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      const size_t sub_cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, prev[i - 1] + sub_cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) / longest;
+}
+
+}  // namespace cem::text

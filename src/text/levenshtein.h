@@ -1,0 +1,18 @@
+#ifndef CEM_TEXT_LEVENSHTEIN_H_
+#define CEM_TEXT_LEVENSHTEIN_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace cem::text {
+
+/// Edit distance (insert/delete/substitute, unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Normalised edit similarity: 1 - distance / max(|a|, |b|); 1.0 for two
+/// empty strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace cem::text
+
+#endif  // CEM_TEXT_LEVENSHTEIN_H_

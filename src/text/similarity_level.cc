@@ -1,0 +1,68 @@
+#include "text/similarity_level.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "text/jaro_winkler.h"
+#include "util/string_util.h"
+
+namespace cem::text {
+namespace {
+
+/// Returns the name with a trailing '.' removed and lower-cased.
+std::string Canonical(std::string_view name) {
+  std::string out = ToLower(StripWhitespace(name));
+  if (!out.empty() && out.back() == '.') out.pop_back();
+  return out;
+}
+
+bool IsInitial(const std::string& canonical_name) {
+  return canonical_name.size() == 1 &&
+         std::isalpha(static_cast<unsigned char>(canonical_name[0]));
+}
+
+/// First-name similarity with abbreviation handling.
+double FirstNameSimilarity(std::string_view a, std::string_view b) {
+  const std::string ca = Canonical(a);
+  const std::string cb = Canonical(b);
+  if (ca.empty() || cb.empty()) return 0.7;  // Missing data: weak evidence.
+  if (ca == cb) return 1.0;
+  const bool a_initial = IsInitial(ca);
+  const bool b_initial = IsInitial(cb);
+  if (a_initial || b_initial) {
+    // "J." vs "John": consistent initial is similar but ambiguous.
+    return ca[0] == cb[0] ? 0.85 : 0.0;
+  }
+  return JaroWinklerSimilarity(ca, cb);
+}
+
+}  // namespace
+
+SimilarityLevel Discretize(double score, const LevelThresholds& thresholds) {
+  if (score >= thresholds.high) return SimilarityLevel::kHigh;
+  if (score >= thresholds.medium) return SimilarityLevel::kMedium;
+  if (score >= thresholds.low) return SimilarityLevel::kLow;
+  return SimilarityLevel::kNone;
+}
+
+double NameSimilarity(std::string_view first_a, std::string_view last_a,
+                      std::string_view first_b, std::string_view last_b) {
+  const double last = JaroWinklerSimilarity(Canonical(last_a),
+                                            Canonical(last_b));
+  // A weak last-name match cannot be rescued by the first name.
+  if (last < 0.75) return last * 0.6;
+  const double first = FirstNameSimilarity(first_a, first_b);
+  return 0.6 * last + 0.4 * first;
+}
+
+SimilarityLevel NameSimilarityLevel(std::string_view first_a,
+                                    std::string_view last_a,
+                                    std::string_view first_b,
+                                    std::string_view last_b,
+                                    const LevelThresholds& thresholds) {
+  return Discretize(NameSimilarity(first_a, last_a, first_b, last_b),
+                    thresholds);
+}
+
+}  // namespace cem::text

@@ -1,0 +1,56 @@
+#ifndef CEM_TEXT_SIMILARITY_LEVEL_H_
+#define CEM_TEXT_SIMILARITY_LEVEL_H_
+
+#include <string_view>
+
+namespace cem::text {
+
+/// Discretised similarity level of the paper's `similar(e1, e2, score)`
+/// predicate (Appendix B): scores are discretised to {1, 2, 3}, 3 being the
+/// highest similarity. We add level 0 for "not similar at all" — such pairs
+/// are non-candidates and carry no match variable.
+enum class SimilarityLevel : int {
+  kNone = 0,
+  kLow = 1,
+  kMedium = 2,
+  kHigh = 3,
+};
+
+/// Thresholds that bucket a continuous similarity score into levels.
+/// score >= high  -> kHigh; >= medium -> kMedium; >= low -> kLow; else kNone.
+///
+/// The defaults put near-exact names at level 3 (matchable on similarity
+/// alone, weight +12.75), confident-but-ambiguous names at level 2
+/// (needing two coauthor groundings at the Appendix-B weights) and a wide
+/// "weakly similar" band at level 1 (needing one grounding — the level
+/// whose inference chains the message-passing schemes exist to complete).
+struct LevelThresholds {
+  double low = 0.74;
+  double medium = 0.93;
+  double high = 0.97;
+};
+
+/// Buckets `score` (expected in [0,1]) into a SimilarityLevel.
+SimilarityLevel Discretize(double score, const LevelThresholds& thresholds);
+
+/// Continuous similarity between two person names, abbreviation-aware:
+/// * last names are compared with Jaro-Winkler;
+/// * a first name that is a single initial (possibly dotted, e.g. "J.")
+///   matching the other first name's leading letter compares as 0.85 —
+///   similar, but not as strong as a full-string match (this is exactly the
+///   HEPTH ambiguity the paper describes);
+/// * otherwise first names use Jaro-Winkler.
+/// The result is a weighted combination (last name dominates).
+double NameSimilarity(std::string_view first_a, std::string_view last_a,
+                      std::string_view first_b, std::string_view last_b);
+
+/// NameSimilarity + Discretize with the given thresholds.
+SimilarityLevel NameSimilarityLevel(std::string_view first_a,
+                                    std::string_view last_a,
+                                    std::string_view first_b,
+                                    std::string_view last_b,
+                                    const LevelThresholds& thresholds);
+
+}  // namespace cem::text
+
+#endif  // CEM_TEXT_SIMILARITY_LEVEL_H_

@@ -1,0 +1,53 @@
+#include "text/token_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cem::text {
+
+void TokenIndex::AddDocument(uint32_t doc_id,
+                             const std::vector<std::string>& tokens) {
+  if (doc_id >= doc_token_counts_.size()) {
+    doc_token_counts_.resize(doc_id + 1, 0);
+    doc_tokens_.resize(doc_id + 1);
+  }
+  CEM_CHECK(doc_token_counts_[doc_id] == 0) << "document added twice";
+  std::set<std::string> unique;
+  for (const std::string& t : tokens) unique.insert(ToLower(t));
+  for (const std::string& t : unique) {
+    postings_[t].push_back(doc_id);
+    doc_tokens_[doc_id].push_back(t);
+  }
+  doc_token_counts_[doc_id] = static_cast<uint32_t>(unique.size());
+}
+
+std::vector<TokenIndex::Neighbor> TokenIndex::Candidates(
+    uint32_t doc_id, double min_score) const {
+  CEM_CHECK(doc_id < doc_token_counts_.size());
+  std::unordered_map<uint32_t, uint32_t> overlap;
+  for (const std::string& t : doc_tokens_[doc_id]) {
+    auto it = postings_.find(t);
+    if (it == postings_.end()) continue;
+    for (uint32_t other : it->second) {
+      if (other != doc_id) ++overlap[other];
+    }
+  }
+  std::vector<Neighbor> out;
+  out.reserve(overlap.size());
+  const double my_count = doc_token_counts_[doc_id];
+  for (const auto& [other, shared] : overlap) {
+    const double denom = std::max<double>(my_count, doc_token_counts_[other]);
+    const double score = denom == 0 ? 0.0 : shared / denom;
+    if (score >= min_score) out.push_back({other, score});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.doc_id < b.doc_id;
+            });
+  return out;
+}
+
+}  // namespace cem::text

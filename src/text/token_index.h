@@ -1,0 +1,49 @@
+#ifndef CEM_TEXT_TOKEN_INDEX_H_
+#define CEM_TEXT_TOKEN_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cem::text {
+
+/// Inverted index from token -> document ids, used as the "cheap distance"
+/// of the Canopies algorithm [McCallum et al., KDD 2000]: candidate
+/// neighbours of a document are the documents sharing at least one token,
+/// scored by overlap.
+class TokenIndex {
+ public:
+  TokenIndex() = default;
+
+  /// Adds a document; `doc_id` values should be dense (0..n-1). Tokens are
+  /// lower-cased; duplicate tokens within a document are collapsed.
+  void AddDocument(uint32_t doc_id, const std::vector<std::string>& tokens);
+
+  /// Number of documents added.
+  size_t num_documents() const { return doc_token_counts_.size(); }
+
+  struct Neighbor {
+    uint32_t doc_id;
+    /// Token-overlap score: |tokens(a) ∩ tokens(b)| / max(|a|,|b|).
+    double score;
+  };
+
+  /// Returns documents sharing >= 1 token with `doc_id` whose overlap score
+  /// is at least `min_score`, excluding `doc_id` itself. Order is by doc id.
+  std::vector<Neighbor> Candidates(uint32_t doc_id, double min_score) const;
+
+  /// Tokens shared between index entry construction calls are interned; this
+  /// returns the number of distinct tokens seen.
+  size_t num_tokens() const { return postings_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<uint32_t>> postings_;
+  std::vector<std::vector<std::string>> doc_tokens_;
+  std::vector<uint32_t> doc_token_counts_;
+};
+
+}  // namespace cem::text
+
+#endif  // CEM_TEXT_TOKEN_INDEX_H_

@@ -1,0 +1,45 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cem {
+namespace {
+
+std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
+
+char SeverityLetter(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return 'I';
+    case LogSeverity::kWarning:
+      return 'W';
+    case LogSeverity::kError:
+      return 'E';
+    case LogSeverity::kFatal:
+      return 'F';
+  }
+  return '?';
+}
+
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+LogSeverity MinLogSeverity() { return g_min_severity; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    std::fprintf(stderr, "[%c %s:%d] %s\n", SeverityLetter(severity_), file_,
+                 line_, stream_.str().c_str());
+  }
+  if (severity_ == LogSeverity::kFatal) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace cem

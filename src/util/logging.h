@@ -1,0 +1,63 @@
+#ifndef CEM_UTIL_LOGGING_H_
+#define CEM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cem {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Minimum severity that is actually emitted; defaults to kInfo. Benchmarks
+/// raise this to keep their table output clean.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction. A kFatal message aborts.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the message is below the emission
+/// threshold; keeps the macro expression well-formed.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace cem
+
+#define CEM_LOG(severity)                                          \
+  ::cem::internal_logging::LogMessage(::cem::LogSeverity::k##severity, \
+                                      __FILE__, __LINE__)               \
+      .stream()
+
+/// Aborts with a message when `condition` is false. Used for programming
+/// errors (invariant violations), not for data-dependent failures.
+#define CEM_CHECK(condition)                                      \
+  (condition) ? (void)0                                           \
+              : ::cem::internal_logging::LogMessageVoidify() &    \
+                    CEM_LOG(Fatal) << "Check failed: " #condition << " "
+
+#define CEM_CHECK_OK(expr)                                            \
+  do {                                                                \
+    const ::cem::Status cem_check_ok_tmp__ = (expr);                  \
+    CEM_CHECK(cem_check_ok_tmp__.ok()) << cem_check_ok_tmp__.ToString(); \
+  } while (false)
+
+#endif  // CEM_UTIL_LOGGING_H_

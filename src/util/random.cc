@@ -1,0 +1,102 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cem {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  CEM_CHECK(bound > 0) << "NextBounded requires a positive bound";
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  CEM_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; draws u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  CEM_CHECK(n > 0);
+  // Inverse-CDF over the truncated harmonic weights via binary search on a
+  // smooth approximation; exact enough for workload skew purposes.
+  // For small n we do it exactly.
+  if (n <= 4096) {
+    double total = 0;
+    for (uint64_t i = 0; i < n; ++i) total += std::pow(i + 1.0, -s);
+    double u = NextDouble() * total;
+    double acc = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      acc += std::pow(i + 1.0, -s);
+      if (u <= acc) return i;
+    }
+    return n - 1;
+  }
+  // Approximation: integral of x^-s from 1 to n+1.
+  double u = NextDouble();
+  if (s == 1.0) {
+    double ln = std::log(static_cast<double>(n) + 1.0);
+    return static_cast<uint64_t>(std::exp(u * ln)) - 1;
+  }
+  double oneminus = 1.0 - s;
+  double hi = std::pow(static_cast<double>(n) + 1.0, oneminus);
+  double x = std::pow(u * (hi - 1.0) + 1.0, 1.0 / oneminus);
+  uint64_t idx = static_cast<uint64_t>(x) - 1;
+  return idx < n ? idx : n - 1;
+}
+
+}  // namespace cem

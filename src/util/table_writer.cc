@@ -1,0 +1,62 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace cem {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  CEM_CHECK(cells.size() == headers_.size())
+      << "row has " << cells.size() << " cells, expected " << headers_.size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void TableWriter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  os << '|';
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TableWriter::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace cem

@@ -1,0 +1,37 @@
+#ifndef CEM_UTIL_TABLE_WRITER_H_
+#define CEM_UTIL_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cem {
+
+/// Renders aligned plain-text tables for the benchmark harness, so each
+/// bench binary prints the same rows/series the paper's figure or table
+/// reports.
+class TableWriter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends a row; the row must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimal places.
+  static std::string Num(double value, int precision = 3);
+
+  /// Writes the rendered table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Writes the table as comma-separated values (machine readable).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cem
+
+#endif  // CEM_UTIL_TABLE_WRITER_H_

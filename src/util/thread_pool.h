@@ -1,0 +1,53 @@
+#ifndef CEM_UTIL_THREAD_POOL_H_
+#define CEM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cem {
+
+/// Fixed-size worker pool. Used by the GridExecutor to model grid machines:
+/// one worker thread per simulated machine.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until every scheduled task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs `fn(i)` for i in [0, n) across `pool`, blocking until all complete.
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace cem
+
+#endif  // CEM_UTIL_THREAD_POOL_H_

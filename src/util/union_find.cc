@@ -1,0 +1,63 @@
+#include "util/union_find.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace cem {
+
+UnionFind::UnionFind(size_t n) { Resize(n); }
+
+void UnionFind::Resize(size_t n) {
+  size_t old = parent_.size();
+  if (n <= old) return;
+  parent_.resize(n);
+  size_.resize(n, 1);
+  for (size_t i = old; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  num_sets_ += n - old;
+}
+
+uint32_t UnionFind::Find(uint32_t x) {
+  CEM_CHECK(x < parent_.size());
+  uint32_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[x] != root) {
+    uint32_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+uint32_t UnionFind::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return ra;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return ra;
+}
+
+bool UnionFind::Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+std::vector<std::vector<uint32_t>> UnionFind::Groups() {
+  std::map<uint32_t, std::vector<uint32_t>> by_root;
+  for (uint32_t i = 0; i < parent_.size(); ++i) {
+    by_root[Find(i)].push_back(i);
+  }
+  std::vector<std::vector<uint32_t>> out;
+  out.reserve(by_root.size());
+  for (auto& [root, members] : by_root) {
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return out;
+}
+
+}  // namespace cem

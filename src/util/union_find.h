@@ -1,0 +1,49 @@
+#ifndef CEM_UTIL_UNION_FIND_H_
+#define CEM_UTIL_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cem {
+
+/// Disjoint-set forest with path compression and union by size. Used for
+/// transitive closure of match sets and for merging overlapping maximal
+/// messages ((T ∪ TC)* in Algorithm 3).
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets labelled 0..n-1.
+  explicit UnionFind(size_t n = 0);
+
+  /// Grows the structure to at least `n` elements (new elements are
+  /// singletons).
+  void Resize(size_t n);
+
+  /// Returns the representative of `x`'s set.
+  uint32_t Find(uint32_t x);
+
+  /// Merges the sets containing `a` and `b`; returns the new representative.
+  uint32_t Union(uint32_t a, uint32_t b);
+
+  /// True if `a` and `b` are currently in the same set.
+  bool Connected(uint32_t a, uint32_t b);
+
+  /// Number of elements.
+  size_t size() const { return parent_.size(); }
+
+  /// Number of distinct sets.
+  size_t num_sets() const { return num_sets_; }
+
+  /// Groups elements by representative; each group is sorted ascending and
+  /// the groups are ordered by their smallest element.
+  std::vector<std::vector<uint32_t>> Groups();
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  size_t num_sets_ = 0;
+};
+
+}  // namespace cem
+
+#endif  // CEM_UTIL_UNION_FIND_H_

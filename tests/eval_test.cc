@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "core/match_set.h"
+#include "data/bib_generator.h"
+#include "data/dataset.h"
+#include "data/figure1.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/upper_bound.h"
+#include "mln/mln_matcher.h"
+
+namespace cem::eval {
+namespace {
+
+using core::MatchSet;
+using data::EntityPair;
+
+// --------------------------------------------------------------- Metrics --
+
+TEST(MetricsTest, PerfectOutput) {
+  data::Dataset d;
+  auto a = d.AddAuthorRef("x", "y", 0);
+  auto b = d.AddAuthorRef("x", "y", 0);
+  auto c = d.AddAuthorRef("z", "w", 1);
+  (void)c;
+  d.Finalize();
+  MatchSet out({EntityPair(a, b)});
+  const PrMetrics m = ComputePr(d, out);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(MetricsTest, FalsePositiveLowersPrecision) {
+  data::Dataset d;
+  auto a = d.AddAuthorRef("x", "y", 0);
+  auto b = d.AddAuthorRef("x", "y", 0);
+  auto c = d.AddAuthorRef("z", "w", 1);
+  d.Finalize();
+  MatchSet out({EntityPair(a, b), EntityPair(a, c)});
+  const PrMetrics m = ComputePr(d, out);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_NEAR(m.f1, 2.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, MissLowersRecall) {
+  data::Dataset d;
+  auto a = d.AddAuthorRef("x", "y", 0);
+  auto b = d.AddAuthorRef("x", "y", 0);
+  auto c = d.AddAuthorRef("x", "y", 0);
+  d.Finalize();
+  // Truth has 3 pairs; we find one.
+  MatchSet out({EntityPair(a, b)});
+  (void)c;
+  const PrMetrics m = ComputePr(d, out);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_NEAR(m.recall, 1.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, EmptyOutputConventions) {
+  data::Dataset d;
+  d.AddAuthorRef("x", "y", 0);
+  d.AddAuthorRef("x", "y", 0);
+  d.Finalize();
+  const PrMetrics m = ComputePr(d, MatchSet());
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);  // Vacuous precision.
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+}
+
+TEST(MetricsTest, UnlabelledPairsIgnored) {
+  data::Dataset d;
+  auto a = d.AddAuthorRef("x", "y", 0);
+  auto b = d.AddAuthorRef("x", "y");  // Unlabelled.
+  d.Finalize();
+  MatchSet out({EntityPair(a, b)});
+  const PrMetrics m = ComputePr(d, out);
+  EXPECT_EQ(m.true_positives + m.false_positives, 0u);
+}
+
+TEST(MetricsTest, SoundnessCompleteness) {
+  MatchSet produced({EntityPair(1, 2), EntityPair(3, 4)});
+  MatchSet reference({EntityPair(1, 2), EntityPair(5, 6), EntityPair(7, 8)});
+  EXPECT_DOUBLE_EQ(Soundness(produced, reference), 0.5);
+  EXPECT_NEAR(Completeness(produced, reference), 1.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Soundness(MatchSet(), reference), 1.0);
+  EXPECT_DOUBLE_EQ(Completeness(produced, MatchSet()), 1.0);
+}
+
+// ------------------------------------------------------------ UpperBound --
+
+TEST(UpperBoundTest, Figure1UpperBoundContainsFullRun) {
+  data::Figure1 fig = data::MakeFigure1();
+  mln::MlnMatcher matcher(*fig.dataset, mln::MlnWeights::Figure1Demo());
+  const MatchSet ub = UpperBoundMatches(matcher);
+  // UB over-approximates the full run (supermodularity argument, §6.1).
+  EXPECT_TRUE(matcher.MatchAll().IsSubsetOf(ub));
+}
+
+TEST(UpperBoundTest, UpperBoundRecallDominatesSchemesOnRealCorpus) {
+  // The paper's use of UB: its recall upper-bounds what the matcher can
+  // achieve through any message-passing scheme.
+  auto dataset = data::GenerateBibDataset(data::BibConfig::DblpLike(0.25));
+  mln::MlnMatcher matcher(*dataset);
+  const core::Cover cover = core::BuildCanopyCover(*dataset);
+  const MatchSet mmp = core::RunMmp(matcher, cover).matches;
+  const MatchSet ub = UpperBoundMatches(matcher);
+  EXPECT_GE(ComputePr(*dataset, ub).recall, ComputePr(*dataset, mmp).recall);
+}
+
+TEST(UpperBoundTest, SelfReferenceUpperBoundContainsFullRun) {
+  auto dataset = data::GenerateBibDataset(data::BibConfig::DblpLike(0.25));
+  mln::MlnMatcher matcher(*dataset);
+  const MatchSet full = matcher.MatchAll();
+  EXPECT_TRUE(full.IsSubsetOf(UpperBoundMatches(matcher, &full)));
+}
+
+// ----------------------------------------------------------- Experiment --
+
+TEST(ExperimentTest, BenchScaleDefaultsToOne) {
+  unsetenv("CEM_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(BenchScale(), 1.0);
+  setenv("CEM_BENCH_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(), 0.5);
+  setenv("CEM_BENCH_SCALE", "junk", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(), 1.0);
+  setenv("CEM_BENCH_SCALE", "1000", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(), 100.0);  // Clamped.
+  unsetenv("CEM_BENCH_SCALE");
+}
+
+TEST(ExperimentTest, WorkloadsAreWellFormed) {
+  Workload hepth = MakeHepthWorkload(0.2);
+  EXPECT_EQ(hepth.name, "HEPTH-like");
+  EXPECT_GT(hepth.dataset->num_candidate_pairs(), 0u);
+  EXPECT_GT(hepth.cover.size(), 0u);
+  EXPECT_TRUE(hepth.cover.IsTotalForCoauthor(*hepth.dataset));
+}
+
+TEST(ExperimentTest, CostModelPreservesOutputs) {
+  data::Figure1 fig = data::MakeFigure1();
+  mln::MlnMatcher inner(*fig.dataset, mln::MlnWeights::Figure1Demo());
+  CostModelMatcher wrapped(inner, /*cost_scale_us=*/0.1, /*exponent=*/1.0);
+  core::Cover cover;
+  for (const auto& n : fig.neighborhoods) cover.Add(n);
+  EXPECT_EQ(core::RunMmp(wrapped, cover).matches,
+            core::RunMmp(inner, cover).matches);
+  EXPECT_GT(wrapped.charged_seconds(), 0.0);
+}
+
+TEST(ExperimentTest, CostModelBurnsProportionally) {
+  data::Figure1 fig = data::MakeFigure1();
+  mln::MlnMatcher inner(*fig.dataset, mln::MlnWeights::Figure1Demo());
+  CostModelMatcher cheap(inner, 1.0, 1.0);
+  CostModelMatcher costly(inner, 50.0, 1.0);
+  std::vector<data::EntityId> all(fig.dataset->num_entities());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  cheap.Match(all);
+  costly.Match(all);
+  EXPECT_GT(costly.charged_seconds(), cheap.charged_seconds() * 10);
+}
+
+TEST(ExperimentTest, RunAllSchemesProbabilisticIncludesMmp) {
+  data::Figure1 fig = data::MakeFigure1();
+  mln::MlnMatcher matcher(*fig.dataset, mln::MlnWeights::Figure1Demo());
+  core::Cover cover;
+  for (const auto& n : fig.neighborhoods) cover.Add(n);
+  const SchemeResults results = RunAllSchemes(matcher, cover);
+  EXPECT_TRUE(results.has_mmp);
+  EXPECT_EQ(results.mmp.matches.size(), 5u);
+  EXPECT_EQ(results.no_mp.matches.size(), 1u);
+  EXPECT_EQ(results.smp.matches.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cem::eval

@@ -1,0 +1,146 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/connected_components.h"
+#include "graph/max_flow.h"
+#include "util/random.h"
+
+namespace cem::graph {
+namespace {
+
+TEST(MaxFlowTest, SingleEdge) {
+  MaxFlow f(2);
+  f.AddEdge(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 1), 5.0);
+}
+
+TEST(MaxFlowTest, SeriesBottleneck) {
+  MaxFlow f(3);
+  f.AddEdge(0, 1, 5.0);
+  f.AddEdge(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 2), 3.0);
+}
+
+TEST(MaxFlowTest, ParallelPathsAdd) {
+  MaxFlow f(4);
+  f.AddEdge(0, 1, 2.0);
+  f.AddEdge(1, 3, 2.0);
+  f.AddEdge(0, 2, 3.0);
+  f.AddEdge(2, 3, 3.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 3), 5.0);
+}
+
+TEST(MaxFlowTest, ClassicDiamondWithCrossEdge) {
+  // Textbook instance whose answer requires using the cross edge.
+  MaxFlow f(4);
+  f.AddEdge(0, 1, 10.0);
+  f.AddEdge(0, 2, 10.0);
+  f.AddEdge(1, 2, 1.0);
+  f.AddEdge(1, 3, 8.0);
+  f.AddEdge(2, 3, 10.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 3), 18.0);
+}
+
+TEST(MaxFlowTest, DisconnectedSinkGivesZero) {
+  MaxFlow f(3);
+  f.AddEdge(0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 2), 0.0);
+}
+
+TEST(MaxFlowTest, MinCutSidesPartitionNodes) {
+  MaxFlow f(4);
+  f.AddEdge(0, 1, 1.0);
+  f.AddEdge(1, 2, 2.0);
+  f.AddEdge(2, 3, 3.0);
+  f.Solve(0, 3);
+  const std::vector<bool> source_side = f.SourceSideMinCut();
+  const std::vector<bool> max_side = f.SinkUnreachableSet();
+  EXPECT_TRUE(source_side[0]);
+  EXPECT_FALSE(source_side[3]);
+  EXPECT_TRUE(max_side[0]);
+  EXPECT_FALSE(max_side[3]);
+  // The minimal source side is contained in the maximal one.
+  for (int v = 0; v < 4; ++v) {
+    if (source_side[v]) EXPECT_TRUE(max_side[v]);
+  }
+}
+
+TEST(MaxFlowTest, MaximalCutStrictlyLargerOnTies) {
+  // Node 1 sits between two equal capacities: both cuts are minimal, so 1
+  // is outside the minimal source side but inside the maximal one.
+  MaxFlow f(3);
+  f.AddEdge(0, 1, 2.0);
+  f.AddEdge(1, 2, 2.0);
+  f.Solve(0, 2);
+  EXPECT_FALSE(f.SourceSideMinCut()[1]);
+  EXPECT_TRUE(f.SinkUnreachableSet()[1]);
+}
+
+TEST(MaxFlowTest, UndirectedEdgeViaReverseCapacity) {
+  MaxFlow f(4);
+  f.AddEdge(0, 1, 3.0);
+  f.AddEdge(1, 2, 2.0, 2.0);  // Undirected middle edge.
+  f.AddEdge(2, 3, 3.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 3), 2.0);
+}
+
+// Randomised cross-check: max flow equals brute-force min cut.
+TEST(MaxFlowTest, AgreesWithBruteForceMinCutOnRandomGraphs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextBounded(5));  // 2..6 nodes
+    std::vector<std::vector<double>> cap(n, std::vector<double>(n, 0.0));
+    MaxFlow f(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (u == v) continue;
+        if (rng.NextBernoulli(0.5)) {
+          const double c = static_cast<double>(rng.NextBounded(8));
+          cap[u][v] = c;
+          if (c > 0) f.AddEdge(u, v, c);
+        }
+      }
+    }
+    const int source = 0, sink = n - 1;
+    const double flow = f.Solve(source, sink);
+    // Brute-force min cut over all subsets containing source, not sink.
+    double best = 1e18;
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      if (!(mask & (1 << source)) || (mask & (1 << sink))) continue;
+      double cut = 0;
+      for (int u = 0; u < n; ++u) {
+        for (int v = 0; v < n; ++v) {
+          if ((mask & (1 << u)) && !(mask & (1 << v))) cut += cap[u][v];
+        }
+      }
+      best = std::min(best, cut);
+    }
+    EXPECT_NEAR(flow, best, 1e-9) << "trial " << trial;
+  }
+}
+
+// -------------------------------------------------- ConnectedComponents --
+
+TEST(ConnectedComponentsTest, NoEdgesAllSingletons) {
+  auto components = ConnectedComponents(3, {});
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], (std::vector<uint32_t>{0}));
+}
+
+TEST(ConnectedComponentsTest, ChainIsOneComponent) {
+  auto components = ConnectedComponents(4, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_EQ(components.size(), 1u);
+  EXPECT_EQ(components[0], (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(ConnectedComponentsTest, TwoComponentsOrdered) {
+  auto components = ConnectedComponents(5, {{3, 4}, {0, 2}});
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(components[1], (std::vector<uint32_t>{1}));
+  EXPECT_EQ(components[2], (std::vector<uint32_t>{3, 4}));
+}
+
+}  // namespace
+}  // namespace cem::graph

@@ -1,0 +1,176 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/match_set.h"
+#include "data/dataset.h"
+#include "data/figure1.h"
+#include "rules/rules_matcher.h"
+
+namespace cem::rules {
+namespace {
+
+using core::MatchSet;
+using data::EntityId;
+using data::EntityPair;
+
+/// A small instance exercising all three RULES:
+///   r0 "John Smith" / r1 "John Smith"   -> level 3 (rule 1)
+///   r2 "J. Smith"  / r0                 -> level 2; shared coauthor via p2
+///   chained pairs at level 1 needing two supports.
+class RulesFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = d_.AddAuthorRef("John", "Smith", 0);
+    b_ = d_.AddAuthorRef("John", "Smith", 0);
+    c_ = d_.AddAuthorRef("J.", "Smith", 0);
+    x_ = d_.AddAuthorRef("Mary", "Major", 1);
+    y_ = d_.AddAuthorRef("M.", "Major", 1);
+    // One paper shared by c_ and x_; one shared by a_ and y_ — gives the
+    // level-2 pair (a_,c_) a coauthor support iff (x_,y_) is matched, and
+    // vice versa.
+    data::EntityId p0 = d_.AddPaper("p0");
+    d_.AddAuthored(c_, p0);
+    d_.AddAuthored(x_, p0);
+    data::EntityId p1 = d_.AddPaper("p1");
+    d_.AddAuthored(a_, p1);
+    d_.AddAuthored(y_, p1);
+    d_.Finalize();
+    d_.AddCandidatePair(a_, b_, text::SimilarityLevel::kHigh);    // Rule 1.
+    d_.AddCandidatePair(a_, c_, text::SimilarityLevel::kMedium);  // Rule 2.
+    d_.AddCandidatePair(x_, y_, text::SimilarityLevel::kMedium);  // Rule 2.
+    d_.FinalizeCandidatePairs();
+  }
+
+  std::vector<EntityId> All() const {
+    std::vector<EntityId> out(d_.num_entities());
+    for (size_t i = 0; i < d_.num_entities(); ++i) out[i] = i;
+    return out;
+  }
+
+  data::Dataset d_;
+  EntityId a_, b_, c_, x_, y_;
+};
+
+TEST_F(RulesFixture, Rule1FiresUnconditionally) {
+  RulesConfig config;
+  config.transitive_closure = false;
+  RulesMatcher matcher(d_, config);
+  const MatchSet out = matcher.Match(All());
+  EXPECT_TRUE(out.Contains(EntityPair(a_, b_)));
+}
+
+TEST_F(RulesFixture, Rule2ChainsThroughFixpoint) {
+  // (a,c) is supported by the link to (x,y) and vice versa — but neither
+  // has base support, so neither fires: RULES (unlike MLN) has no way to
+  // bootstrap a mutually-recursive chain without a seed.
+  RulesConfig config;
+  config.transitive_closure = false;
+  RulesMatcher matcher(d_, config);
+  const MatchSet out = matcher.Match(All());
+  EXPECT_FALSE(out.Contains(EntityPair(a_, c_)));
+  EXPECT_FALSE(out.Contains(EntityPair(x_, y_)));
+
+  // With (x,y) as positive evidence the chain unlocks (iterative behavior
+  // of the paper's Appendix D discussion).
+  MatchSet evidence;
+  evidence.Insert(EntityPair(x_, y_));
+  const MatchSet with = matcher.Match(All(), evidence);
+  EXPECT_TRUE(with.Contains(EntityPair(a_, c_)));
+}
+
+TEST_F(RulesFixture, TransitiveClosureCompletesClusters) {
+  MatchSet evidence;
+  evidence.Insert(EntityPair(x_, y_));
+  RulesConfig config;
+  config.transitive_closure = true;
+  RulesMatcher matcher(d_, config);
+  const MatchSet out = matcher.Match(All(), evidence);
+  // a=b (rule 1) and a=c (rule 2) imply b=c by closure.
+  EXPECT_TRUE(out.Contains(EntityPair(b_, c_)));
+}
+
+TEST_F(RulesFixture, NegativeEvidenceBlocksRuleAndClosure) {
+  RulesConfig config;
+  config.transitive_closure = true;
+  RulesMatcher matcher(d_, config);
+  MatchSet positive;
+  positive.Insert(EntityPair(x_, y_));
+  MatchSet negative;
+  negative.Insert(EntityPair(b_, c_));
+  const MatchSet out = matcher.Match(All(), positive, negative);
+  EXPECT_FALSE(out.Contains(EntityPair(b_, c_)));
+}
+
+TEST_F(RulesFixture, EvidenceOutsideNeighborhoodIgnored) {
+  RulesConfig config;
+  config.transitive_closure = false;
+  RulesMatcher matcher(d_, config);
+  MatchSet evidence;
+  evidence.Insert(EntityPair(x_, y_));
+  // Neighborhood without x_: the (x,y) evidence must not leak in.
+  const std::vector<EntityId> neighborhood = {a_, b_, c_, y_};
+  const MatchSet out = matcher.Match(neighborhood, evidence);
+  EXPECT_FALSE(out.Contains(EntityPair(a_, c_)));
+  EXPECT_FALSE(out.Contains(EntityPair(x_, y_)));
+}
+
+TEST_F(RulesFixture, RequiredSupportLevelsRespectLevelOne) {
+  // Build a level-1 pair with exactly one support: must NOT fire (needs 2).
+  data::Dataset d;
+  EntityId a = d.AddAuthorRef("A", "Aa", 0);
+  EntityId b = d.AddAuthorRef("A", "Ab", 0);
+  EntityId s = d.AddAuthorRef("S", "S", 2);
+  EntityId p0 = d.AddPaper("p0");
+  d.AddAuthored(a, p0);
+  d.AddAuthored(s, p0);
+  EntityId p1 = d.AddPaper("p1");
+  d.AddAuthored(b, p1);
+  d.AddAuthored(s, p1);
+  d.Finalize();
+  d.AddCandidatePair(a, b, text::SimilarityLevel::kLow);
+  d.FinalizeCandidatePairs();
+
+  RulesConfig config;
+  config.transitive_closure = false;
+  RulesMatcher matcher(d, config);
+  std::vector<EntityId> all = {a, b, s, p0, p1};
+  EXPECT_FALSE(matcher.Match(all).Contains(EntityPair(a, b)));
+
+  // Two shared coauthors satisfy rule 3.
+  data::Dataset d2;
+  a = d2.AddAuthorRef("A", "Aa", 0);
+  b = d2.AddAuthorRef("A", "Ab", 0);
+  s = d2.AddAuthorRef("S", "S", 2);
+  EntityId t = d2.AddAuthorRef("T", "T", 3);
+  p0 = d2.AddPaper("p0");
+  d2.AddAuthored(a, p0);
+  d2.AddAuthored(s, p0);
+  d2.AddAuthored(t, p0);
+  p1 = d2.AddPaper("p1");
+  d2.AddAuthored(b, p1);
+  d2.AddAuthored(s, p1);
+  d2.AddAuthored(t, p1);
+  d2.Finalize();
+  d2.AddCandidatePair(a, b, text::SimilarityLevel::kLow);
+  d2.FinalizeCandidatePairs();
+  RulesMatcher matcher2(d2, config);
+  std::vector<EntityId> all2 = {a, b, s, t, p0, p1};
+  EXPECT_TRUE(matcher2.Match(all2).Contains(EntityPair(a, b)));
+}
+
+TEST(RulesMatcherTest, Figure1LevelsTooWeakForRules) {
+  // Figure 1's pairs are level kMedium; without seeds RULES only matches
+  // pairs with an unconditional shared coauthor: (c1,c2) via d1.
+  data::Figure1 fig = data::MakeFigure1();
+  RulesConfig config;
+  config.transitive_closure = false;
+  RulesMatcher matcher(*fig.dataset, config);
+  std::vector<EntityId> all(fig.dataset->num_entities());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const MatchSet out = matcher.Match(all);
+  EXPECT_TRUE(out.Contains(EntityPair(fig.c1, fig.c2)));
+}
+
+}  // namespace
+}  // namespace cem::rules

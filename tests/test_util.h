@@ -1,0 +1,106 @@
+#ifndef CEM_TESTS_TEST_UTIL_H_
+#define CEM_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cover.h"
+#include "data/dataset.h"
+#include "mln/mln_program.h"
+#include "util/random.h"
+
+namespace cem::testing_util {
+
+/// A randomly generated small EM instance (entities, coauthor graph via
+/// random papers, random candidate pairs and random attractive MLN
+/// weights), for property tests. Deterministic per seed.
+class RandomInstance {
+ public:
+  explicit RandomInstance(uint64_t seed, int min_refs = 6, int max_refs = 10)
+      : rng_(seed) {
+    dataset_ = std::make_unique<data::Dataset>();
+    const int num_refs =
+        min_refs + static_cast<int>(rng_.NextBounded(max_refs - min_refs + 1));
+    for (int i = 0; i < num_refs; ++i) {
+      dataset_->AddAuthorRef("f" + std::to_string(i), "l",
+                             static_cast<uint32_t>(rng_.NextBounded(3)));
+    }
+    const int num_papers = 3 + static_cast<int>(rng_.NextBounded(4));
+    for (int p = 0; p < num_papers; ++p) {
+      const data::EntityId paper = dataset_->AddPaper("p" + std::to_string(p));
+      const int k = 2 + static_cast<int>(rng_.NextBounded(2));
+      for (int j = 0; j < k; ++j) {
+        dataset_->AddAuthored(
+            static_cast<data::EntityId>(rng_.NextBounded(num_refs)), paper);
+      }
+    }
+    dataset_->Finalize();
+    for (int a = 0; a < num_refs; ++a) {
+      for (int b = a + 1; b < num_refs; ++b) {
+        if (rng_.NextBernoulli(0.4)) {
+          dataset_->AddCandidatePair(
+              a, b,
+              static_cast<text::SimilarityLevel>(1 + rng_.NextBounded(3)));
+        }
+      }
+    }
+    dataset_->FinalizeCandidatePairs();
+    weights_.w_sim[1] = -6.0 + rng_.NextDouble() * 8.0;
+    weights_.w_sim[2] = -6.0 + rng_.NextDouble() * 10.0;
+    weights_.w_sim[3] = -2.0 + rng_.NextDouble() * 10.0;
+    weights_.w_coauthor = rng_.NextDouble() * 6.0;
+  }
+
+  data::Dataset& dataset() { return *dataset_; }
+  const mln::MlnWeights& weights() const { return weights_; }
+  Rng& rng() { return rng_; }
+
+  /// All entity ids (refs and papers).
+  std::vector<data::EntityId> AllEntities() const {
+    std::vector<data::EntityId> out(dataset_->num_entities());
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<data::EntityId>(i);
+    }
+    return out;
+  }
+
+  /// A random cover of the author refs: random overlapping neighborhoods,
+  /// patched so every ref (plus its coauthors) is covered.
+  core::Cover RandomCover() {
+    core::Cover cover;
+    const auto& refs = dataset_->author_refs();
+    const int num_neighborhoods = 2 + static_cast<int>(rng_.NextBounded(3));
+    for (int i = 0; i < num_neighborhoods; ++i) {
+      std::vector<data::EntityId> members;
+      for (data::EntityId r : refs) {
+        if (rng_.NextBernoulli(0.5)) members.push_back(r);
+      }
+      if (members.empty()) members.push_back(refs[0]);
+      cover.Add(std::move(members));
+    }
+    // Ensure coverage of every ref: one catch-all neighborhood of leftovers.
+    std::vector<data::EntityId> leftovers;
+    for (data::EntityId r : refs) {
+      bool covered = false;
+      for (const auto& n : cover.neighborhoods()) {
+        if (std::binary_search(n.entities.begin(), n.entities.end(), r)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) leftovers.push_back(r);
+    }
+    if (!leftovers.empty()) cover.Add(std::move(leftovers));
+    return cover;
+  }
+
+ private:
+  Rng rng_;
+  std::unique_ptr<data::Dataset> dataset_;
+  mln::MlnWeights weights_;
+};
+
+}  // namespace cem::testing_util
+
+#endif  // CEM_TESTS_TEST_UTIL_H_

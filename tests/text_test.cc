@@ -1,0 +1,202 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/jaccard.h"
+#include "text/jaro_winkler.h"
+#include "text/levenshtein.h"
+#include "text/similarity_level.h"
+#include "text/token_index.h"
+
+namespace cem::text {
+namespace {
+
+// ------------------------------------------------------------------ Jaro --
+
+TEST(JaroTest, IdenticalStrings) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("martha", "martha"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+}
+
+TEST(JaroTest, CompletelyDifferent) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroTest, EmptyVersusNonEmpty) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", ""), 0.0);
+}
+
+TEST(JaroTest, KnownLiteratureValues) {
+  // Classic examples from the record-linkage literature.
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.9444, 1e-3);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.7667, 1e-3);
+  EXPECT_NEAR(JaroSimilarity("jellyfish", "smellyfish"), 0.8963, 1e-3);
+}
+
+TEST(JaroTest, Symmetric) {
+  const char* samples[] = {"smith", "smyth", "johnson", "jonson", "a", "ab"};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      EXPECT_DOUBLE_EQ(JaroSimilarity(a, b), JaroSimilarity(b, a));
+    }
+  }
+}
+
+TEST(JaroWinklerTest, KnownValues) {
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.9611, 1e-3);
+  EXPECT_NEAR(JaroWinklerSimilarity("dixon", "dicksonx"), 0.8133, 1e-3);
+}
+
+TEST(JaroWinklerTest, PrefixBoostsScore) {
+  const double jw = JaroWinklerSimilarity("prefixed", "prefixes");
+  const double j = JaroSimilarity("prefixed", "prefixes");
+  EXPECT_GT(jw, j);
+}
+
+TEST(JaroWinklerTest, BoundedByOne) {
+  EXPECT_LE(JaroWinklerSimilarity("aaaa", "aaaa"), 1.0);
+  EXPECT_LE(JaroWinklerSimilarity("aaaab", "aaaac", 0.25), 1.0);
+}
+
+// ----------------------------------------------------------- Levenshtein --
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+}
+
+TEST(LevenshteinTest, SymmetricAndTriangle) {
+  const std::string a = "smith", b = "smyth", c = "smythe";
+  EXPECT_EQ(LevenshteinDistance(a, b), LevenshteinDistance(b, a));
+  EXPECT_LE(LevenshteinDistance(a, c),
+            LevenshteinDistance(a, b) + LevenshteinDistance(b, c));
+}
+
+TEST(LevenshteinTest, SimilarityNormalised) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LevenshteinSimilarity("abcd", "abcx"), 0.75, 1e-9);
+}
+
+// -------------------------------------------------------------- Jaccard --
+
+TEST(JaccardTest, SetSemantics) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "a", "b"}, {"a", "b", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+}
+
+TEST(JaccardTest, TokenJaccard) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("john smith", "smith john"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("john smith", "mary jones"), 0.0);
+}
+
+TEST(JaccardTest, NgramJaccardDetectsTypos) {
+  EXPECT_GT(NgramJaccard("rastogi", "rastogy"), 0.4);
+  EXPECT_LT(NgramJaccard("rastogi", "garofalakis"), 0.2);
+}
+
+// ------------------------------------------------------ SimilarityLevel --
+
+TEST(SimilarityLevelTest, DiscretizeThresholds) {
+  LevelThresholds t;  // 0.74 / 0.93 / 0.97
+  EXPECT_EQ(Discretize(0.99, t), SimilarityLevel::kHigh);
+  EXPECT_EQ(Discretize(0.97, t), SimilarityLevel::kHigh);
+  EXPECT_EQ(Discretize(0.94, t), SimilarityLevel::kMedium);
+  EXPECT_EQ(Discretize(0.80, t), SimilarityLevel::kLow);
+  EXPECT_EQ(Discretize(0.74, t), SimilarityLevel::kLow);
+  EXPECT_EQ(Discretize(0.30, t), SimilarityLevel::kNone);
+}
+
+TEST(SimilarityLevelTest, IdenticalFullNamesAreHigh) {
+  LevelThresholds t;
+  EXPECT_EQ(NameSimilarityLevel("John", "Smith", "John", "Smith", t),
+            SimilarityLevel::kHigh);
+}
+
+TEST(SimilarityLevelTest, AbbreviatedFirstNameIsAmbiguous) {
+  LevelThresholds t;
+  // "J. Smith" vs "John Smith": similar but not top-level — the HEPTH
+  // situation the paper describes.
+  const SimilarityLevel level =
+      NameSimilarityLevel("J.", "Smith", "John", "Smith", t);
+  EXPECT_TRUE(level == SimilarityLevel::kMedium ||
+              level == SimilarityLevel::kLow);
+  EXPECT_NE(level, SimilarityLevel::kHigh);
+  EXPECT_NE(level, SimilarityLevel::kNone);
+}
+
+TEST(SimilarityLevelTest, MismatchedInitialKillsSimilarity) {
+  EXPECT_LT(NameSimilarity("J.", "Smith", "Mary", "Smith"),
+            NameSimilarity("M.", "Smith", "Mary", "Smith"));
+}
+
+TEST(SimilarityLevelTest, DifferentLastNamesAreNone) {
+  LevelThresholds t;
+  EXPECT_EQ(NameSimilarityLevel("John", "Smith", "John", "Garofalakis", t),
+            SimilarityLevel::kNone);
+}
+
+TEST(SimilarityLevelTest, SymmetricInArguments) {
+  EXPECT_DOUBLE_EQ(NameSimilarity("J.", "Smith", "John", "Smith"),
+                   NameSimilarity("John", "Smith", "J.", "Smith"));
+}
+
+TEST(SimilarityLevelTest, SmallTypoStaysSimilar) {
+  LevelThresholds t;
+  EXPECT_NE(NameSimilarityLevel("John", "Smith", "John", "Smyth", t),
+            SimilarityLevel::kNone);
+}
+
+// ------------------------------------------------------------ TokenIndex --
+
+TEST(TokenIndexTest, FindsOverlappingDocs) {
+  TokenIndex index;
+  index.AddDocument(0, {"smi", "mit", "ith"});
+  index.AddDocument(1, {"smi", "mit", "itt"});
+  index.AddDocument(2, {"xyz"});
+  auto candidates = index.Candidates(0, 0.1);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].doc_id, 1u);
+  EXPECT_NEAR(candidates[0].score, 2.0 / 3.0, 1e-9);
+}
+
+TEST(TokenIndexTest, MinScoreFilters) {
+  TokenIndex index;
+  index.AddDocument(0, {"a", "b", "c", "d"});
+  index.AddDocument(1, {"a"});
+  EXPECT_TRUE(index.Candidates(0, 0.5).empty());
+  EXPECT_EQ(index.Candidates(0, 0.2).size(), 1u);
+}
+
+TEST(TokenIndexTest, CaseInsensitive) {
+  TokenIndex index;
+  index.AddDocument(0, {"ABC"});
+  index.AddDocument(1, {"abc"});
+  EXPECT_EQ(index.Candidates(0, 0.5).size(), 1u);
+}
+
+TEST(TokenIndexTest, DuplicateTokensCollapse) {
+  TokenIndex index;
+  index.AddDocument(0, {"a", "a", "a"});
+  index.AddDocument(1, {"a", "b"});
+  auto candidates = index.Candidates(0, 0.0);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_NEAR(candidates[0].score, 0.5, 1e-9);  // 1 shared / max(1, 2)
+}
+
+TEST(TokenIndexTest, SelfExcluded) {
+  TokenIndex index;
+  index.AddDocument(0, {"x"});
+  EXPECT_TRUE(index.Candidates(0, 0.0).empty());
+}
+
+}  // namespace
+}  // namespace cem::text

@@ -1,0 +1,320 @@
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+#include "util/thread_pool.h"
+#include "util/union_find.h"
+
+namespace cem {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      NotFoundError("x").code(),          OutOfRangeError("x").code(),
+      FailedPreconditionError("x").code(), InternalError("x").code(),
+      UnimplementedError("x").code(),      InvalidArgumentError("x").code(),
+  };
+  EXPECT_EQ(codes.size(), 6u);
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << NotFoundError("gone");
+  EXPECT_EQ(os.str(), "NOT_FOUND: gone");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(NotFoundError("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  auto helper = [](bool fail) -> Status {
+    CEM_RETURN_IF_ERROR(fail ? InternalError("inner") : OkStatus());
+    return OkStatus();
+  };
+  EXPECT_TRUE(helper(false).ok());
+  EXPECT_EQ(helper(true).code(), StatusCode::kInternal);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfSkewsLow) {
+  Rng rng(19);
+  int first_bucket = 0;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.NextZipf(100, 1.0);
+    EXPECT_LT(v, 100u);
+    first_bucket += v == 0 ? 1 : 0;
+  }
+  // Item 0 should be far more frequent than uniform (1%).
+  EXPECT_GT(first_bucket, 500);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(29);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+// ----------------------------------------------------------- string_util --
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t\n "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+}
+
+TEST(StringUtilTest, CharNgrams) {
+  EXPECT_EQ(CharNgrams("abcd", 3), (std::vector<std::string>{"abc", "bcd"}));
+  EXPECT_EQ(CharNgrams("ab", 3), (std::vector<std::string>{"ab"}));
+  EXPECT_TRUE(CharNgrams("", 3).empty());
+  EXPECT_TRUE(CharNgrams("abc", 0).empty());
+}
+
+// ------------------------------------------------------------ UnionFind --
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.num_sets(), 4u);
+  EXPECT_FALSE(uf.Connected(0, 1));
+}
+
+TEST(UnionFindTest, UnionConnects) {
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.num_sets(), 3u);
+}
+
+TEST(UnionFindTest, GroupsAreSortedPartition) {
+  UnionFind uf(6);
+  uf.Union(4, 1);
+  uf.Union(2, 5);
+  auto groups = uf.Groups();
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0], (std::vector<uint32_t>{0}));
+  EXPECT_EQ(groups[1], (std::vector<uint32_t>{1, 4}));
+  EXPECT_EQ(groups[2], (std::vector<uint32_t>{2, 5}));
+  EXPECT_EQ(groups[3], (std::vector<uint32_t>{3}));
+}
+
+TEST(UnionFindTest, ResizeAddsSingletons) {
+  UnionFind uf(2);
+  uf.Union(0, 1);
+  uf.Resize(4);
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_FALSE(uf.Connected(0, 3));
+}
+
+TEST(UnionFindTest, IdempotentUnion) {
+  UnionFind uf(3);
+  uf.Union(0, 1);
+  uf.Union(0, 1);
+  uf.Union(1, 0);
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+// ----------------------------------------------------------- ThreadPool --
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  ParallelFor(pool, 50, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not deadlock.
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+// ---------------------------------------------------------- TableWriter --
+
+TEST(TableWriterTest, AlignedOutput) {
+  TableWriter t({"name", "v"});
+  t.AddRow({"x", "1.5"});
+  t.AddRow({"longer", "2"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string expected =
+      "| name   | v   |\n"
+      "|--------|-----|\n"
+      "| x      | 1.5 |\n"
+      "| longer | 2   |\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(TableWriterTest, CsvOutput) {
+  TableWriter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableWriterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TableWriter::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TableWriter::Num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace cem
