@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate: configure + build (warnings as errors) + tier-1 tests +
+# header self-containment + format check. Run from anywhere.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-ci}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+echo "== configure (${BUILD_DIR})"
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCEM_WERROR=ON
+
+echo "== build (all targets, -j${JOBS})"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== header self-containment check"
+cmake --build "${BUILD_DIR}" --target header_check -j "${JOBS}"
+
+echo "== format check"
+cmake --build "${BUILD_DIR}" --target format_check
+
+echo "== ctest -L tier1"
+ctest --test-dir "${BUILD_DIR}" -L tier1 -j "${JOBS}" --output-on-failure
+
+echo "== OK"

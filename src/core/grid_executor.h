@@ -1,6 +1,7 @@
 #ifndef CEM_CORE_GRID_EXECUTOR_H_
 #define CEM_CORE_GRID_EXECUTOR_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "core/cover.h"

@@ -1,6 +1,7 @@
 #ifndef CEM_CORE_MATCH_SET_H_
 #define CEM_CORE_MATCH_SET_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_set>
 #include <vector>

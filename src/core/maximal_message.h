@@ -1,6 +1,7 @@
 #ifndef CEM_CORE_MAXIMAL_MESSAGE_H_
 #define CEM_CORE_MAXIMAL_MESSAGE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>

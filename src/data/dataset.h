@@ -1,6 +1,7 @@
 #ifndef CEM_DATA_DATASET_H_
 #define CEM_DATA_DATASET_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>

@@ -1,6 +1,7 @@
 #ifndef CEM_DATA_RELATION_H_
 #define CEM_DATA_RELATION_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -2,6 +2,8 @@
 #define CEM_EVAL_EXPERIMENT_H_
 
 #include <atomic>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

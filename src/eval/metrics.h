@@ -1,6 +1,7 @@
 #ifndef CEM_EVAL_METRICS_H_
 #define CEM_EVAL_METRICS_H_
 
+#include <cstddef>
 #include <string>
 
 #include "core/match_set.h"

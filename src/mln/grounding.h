@@ -1,6 +1,7 @@
 #ifndef CEM_MLN_GROUNDING_H_
 #define CEM_MLN_GROUNDING_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #ifndef CEM_MLN_MAP_INFERENCE_H_
 #define CEM_MLN_MAP_INFERENCE_H_
 
+#include <cstddef>
 #include <unordered_set>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #ifndef CEM_TEXT_JACCARD_H_
 #define CEM_TEXT_JACCARD_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>

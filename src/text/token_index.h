@@ -1,6 +1,7 @@
 #ifndef CEM_TEXT_TOKEN_INDEX_H_
 #define CEM_TEXT_TOKEN_INDEX_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>

@@ -1,6 +1,7 @@
 #ifndef CEM_UTIL_STRING_UTIL_H_
 #define CEM_UTIL_STRING_UTIL_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>

@@ -62,7 +62,9 @@ TEST(MaxFlowTest, MinCutSidesPartitionNodes) {
   EXPECT_FALSE(max_side[3]);
   // The minimal source side is contained in the maximal one.
   for (int v = 0; v < 4; ++v) {
-    if (source_side[v]) EXPECT_TRUE(max_side[v]);
+    if (source_side[v]) {
+      EXPECT_TRUE(max_side[v]);
+    }
   }
 }
 

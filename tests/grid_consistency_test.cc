@@ -1,0 +1,81 @@
+// Property tests for the grid executor's consistency guarantee: the
+// round-parallel RunGrid must produce exactly the sequential RunSmp/RunMmp
+// match set for every machine count (the schemes' consistency property —
+// Theorems 2(3)/4 — carried over to the Section 6.3 executor), over
+// randomised instances and covers.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/cover.h"
+#include "core/grid_executor.h"
+#include "core/message_passing.h"
+#include "mln/mln_matcher.h"
+#include "rules/rules_matcher.h"
+#include "test_util.h"
+
+namespace cem {
+namespace {
+
+using core::Cover;
+using core::GridOptions;
+using core::MpScheme;
+using testing_util::RandomInstance;
+
+constexpr uint32_t kMachineCounts[] = {1, 4, 30};
+
+class GridConsistency : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridConsistency, SmpMatchesSequential) {
+  RandomInstance instance(GetParam());
+  mln::MlnMatcher matcher(instance.dataset(), instance.weights());
+  const Cover cover = instance.RandomCover();
+  const auto reference = core::RunSmp(matcher, cover).matches;
+  for (uint32_t machines : kMachineCounts) {
+    GridOptions options;
+    options.scheme = MpScheme::kSmp;
+    options.num_machines = machines;
+    options.seed = GetParam() ^ machines;
+    EXPECT_EQ(core::RunGrid(matcher, cover, options).matches, reference)
+        << "seed " << GetParam() << ", " << machines << " machines";
+  }
+}
+
+TEST_P(GridConsistency, MmpMatchesSequential) {
+  RandomInstance instance(GetParam());
+  mln::MlnMatcher matcher(instance.dataset(), instance.weights());
+  const Cover cover = instance.RandomCover();
+  const auto reference = core::RunMmp(matcher, cover).matches;
+  for (uint32_t machines : kMachineCounts) {
+    GridOptions options;
+    options.scheme = MpScheme::kMmp;
+    options.num_machines = machines;
+    options.seed = GetParam() ^ machines;
+    EXPECT_EQ(core::RunGrid(matcher, cover, options).matches, reference)
+        << "seed " << GetParam() << ", " << machines << " machines";
+  }
+}
+
+TEST_P(GridConsistency, SmpWithRulesMatcherMatchesSequential) {
+  RandomInstance instance(GetParam());
+  rules::RulesConfig config;
+  config.transitive_closure = false;  // Closure is a framework post-pass.
+  rules::RulesMatcher matcher(instance.dataset(), config);
+  const Cover cover = instance.RandomCover();
+  const auto reference = core::RunSmp(matcher, cover).matches;
+  for (uint32_t machines : kMachineCounts) {
+    GridOptions options;
+    options.scheme = MpScheme::kSmp;
+    options.num_machines = machines;
+    options.seed = GetParam() ^ machines;
+    EXPECT_EQ(core::RunGrid(matcher, cover, options).matches, reference)
+        << "seed " << GetParam() << ", " << machines << " machines";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, GridConsistency,
+                         ::testing::Range<uint64_t>(500, 525));
+
+}  // namespace
+}  // namespace cem

@@ -22,14 +22,6 @@ using core::MatchSet;
 using data::EntityId;
 using data::EntityPair;
 
-std::unordered_set<EntityId> AllEntities(const data::Dataset& d) {
-  std::unordered_set<EntityId> out;
-  for (size_t i = 0; i < d.num_entities(); ++i) {
-    out.insert(static_cast<EntityId>(i));
-  }
-  return out;
-}
-
 std::vector<EntityId> AllEntityVector(const data::Dataset& d) {
   std::vector<EntityId> out(d.num_entities());
   for (size_t i = 0; i < d.num_entities(); ++i) out[i] = i;

@@ -1,8 +1,11 @@
 #ifndef CEM_TESTS_TEST_UTIL_H_
 #define CEM_TESTS_TEST_UTIL_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/cover.h"
