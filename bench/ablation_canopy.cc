@@ -38,6 +38,8 @@ int main() {
                   bench::Secs(smp.seconds), TableWriter::Num(m.precision),
                   TableWriter::Num(m.recall)});
   }
-  table.Print(std::cout);
+  bench::JsonReport report("ablation_canopy");
+  report.Table("threshold_sweep", table);
+  report.Write();
   return 0;
 }

@@ -14,6 +14,7 @@ int main() {
       "Ablation — MMP without message merging",
       "merging overlapping maximal messages is what completes chains; "
       "without it MMP degenerates towards SMP");
+  bench::JsonReport report("ablation_mmp_merge");
 
   // Part 1: the paper's own Figure 1/2 instance, where the effect is exact.
   {
@@ -30,7 +31,7 @@ int main() {
     table.AddRow({"MMP, no merge", std::to_string(without.matches.size()),
                   without.matches.Contains(chain_pair) ? "yes" : "no"});
     std::printf("Figure 1 instance (5 matches in the holistic optimum):\n");
-    table.Print(std::cout);
+    report.Table("figure1", table);
   }
 
   // Part 2: the HEPTH-like corpus.
@@ -43,9 +44,10 @@ int main() {
     table.AddRow(bench::PrRow("MMP (full)", *w.dataset, with.matches));
     table.AddRow(bench::PrRow("MMP, no merge", *w.dataset, without.matches));
     std::printf("\nHEPTH-like corpus:\n");
-    table.Print(std::cout);
+    report.Table("hepth", table);
     std::printf("\nmatches only found with merging: %zu\n",
                 with.matches.Difference(without.matches).size());
   }
+  report.Write();
   return 0;
 }

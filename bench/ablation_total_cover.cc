@@ -25,7 +25,8 @@ int main() {
   TableWriter table({"cover", "total (Coauthor)", "scheme", "P", "R", "F1"});
   for (int which = 0; which < 2; ++which) {
     const core::Cover& cover = which == 0 ? w.cover : blocked;
-    const std::string cover_name = which == 0 ? "boundary-expanded" : "canopy-only";
+    const std::string cover_name =
+        which == 0 ? "boundary-expanded" : "canopy-only";
     const std::string total =
         cover.IsTotalForCoauthor(*w.dataset) ? "yes" : "no";
     const core::MatchSet no_mp = core::RunNoMp(matcher, cover).matches;
@@ -40,6 +41,8 @@ int main() {
     row("NO-MP", no_mp);
     row("MMP", mmp);
   }
-  table.Print(std::cout);
+  bench::JsonReport report("ablation_total_cover");
+  report.Table("results", table);
+  report.Write();
   return 0;
 }

@@ -6,8 +6,12 @@
 // note tying the measured shape back to the paper's claim.
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/match_set.h"
@@ -27,10 +31,63 @@ inline double Begin(const std::string& experiment_id,
   const double scale = eval::BenchScale();
   std::printf("=== %s ===\n", experiment_id.c_str());
   std::printf("Paper claim: %s\n", paper_claim.c_str());
-  std::printf("Workload scale: %.2f (set CEM_BENCH_SCALE to change)\n\n",
+  std::printf("Workload scale: %.2f (set CEM_BENCH_SCALE to change)\n",
               scale);
+  std::printf("Blocking strategy: %s (set CEM_BLOCKING to change)\n\n",
+              core::BlockingStrategyName(eval::BenchBlocking()));
   return scale;
 }
+
+/// Machine-readable mirror of a bench's output: collects the tables (and
+/// scalar metrics) the bench prints and writes them as BENCH_<slug>.json,
+/// so the perf trajectory is diffable across PRs. Target directory comes
+/// from CEM_BENCH_JSON_DIR (default: current directory); set it to "off"
+/// to suppress the file.
+class JsonReport {
+ public:
+  /// `slug` should match the bench binary name, e.g. "fig3f_scaling".
+  explicit JsonReport(std::string slug) : slug_(std::move(slug)) {}
+
+  /// Prints `table` to stdout and records it under `key` in the report.
+  void Table(const std::string& key, const TableWriter& table) {
+    table.Print(std::cout);
+    std::ostringstream json;
+    table.PrintJson(json);
+    entries_.emplace_back(key, json.str());
+  }
+
+  /// Records a scalar metric.
+  void Metric(const std::string& key, double value) {
+    std::ostringstream json;
+    json << value;
+    entries_.emplace_back(key, json.str());
+  }
+
+  /// Writes BENCH_<slug>.json and prints its path; call once, last.
+  void Write() const {
+    const char* dir = std::getenv("CEM_BENCH_JSON_DIR");
+    if (dir != nullptr && std::string(dir) == "off") return;
+    const std::string path = std::string(dir == nullptr ? "." : dir) +
+                             "/BENCH_" + slug_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "could not write %s\n", path.c_str());
+      return;
+    }
+    out << "{\"bench\": \"" << slug_ << "\", \"scale\": "
+        << eval::BenchScale() << ", \"blocking\": \""
+        << core::BlockingStrategyName(eval::BenchBlocking()) << "\"";
+    for (const auto& [key, json] : entries_) {
+      out << ", \"" << key << "\": " << json;
+    }
+    out << "}\n";
+    std::printf("\nJSON report: %s\n", path.c_str());
+  }
+
+ private:
+  std::string slug_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 /// Raw pairwise P/R/F1 row for a match set (the MLN matcher applies no
 /// closure, so raw decisions are the comparable quantity).

@@ -30,12 +30,14 @@ int main() {
   table.AddRow(bench::PrRowBoth("SMP", *w.dataset, smp.matches));
   table.AddRow(bench::PrRowBoth("MMP", *w.dataset, mmp.matches));
   table.AddRow(bench::PrRowBoth("UB", *w.dataset, ub));
-  table.Print(std::cout);
+  bench::JsonReport report("fig3a_accuracy_hepth");
+  report.Table("accuracy", table);
 
   std::printf(
       "\nnew matches vs NO-MP: SMP +%zu, MMP +%zu; MMP promoted %zu "
       "maximal messages\n",
       smp.matches.Difference(no_mp.matches).size(),
       mmp.matches.Difference(no_mp.matches).size(), mmp.messages_promoted);
+  report.Write();
   return 0;
 }

@@ -37,6 +37,8 @@ int main() {
   table.AddRow(bench::PrRowBoth("SMP", *dblp.dataset, smp.matches));
   table.AddRow(bench::PrRowBoth("MMP", *dblp.dataset, mmp.matches));
   table.AddRow(bench::PrRowBoth("UB", *dblp.dataset, ub));
-  table.Print(std::cout);
+  bench::JsonReport report("fig3b_accuracy_dblp");
+  report.Table("accuracy", table);
+  report.Write();
   return 0;
 }

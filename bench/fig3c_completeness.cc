@@ -30,6 +30,8 @@ int main() {
                   TableWriter::Num(eval::Completeness(mmp, ub)),
                   TableWriter::Num(eval::Completeness(mmp, full))});
   }
-  table.Print(std::cout);
+  bench::JsonReport report("fig3c_completeness");
+  report.Table("completeness", table);
+  report.Write();
   return 0;
 }

@@ -49,10 +49,12 @@ int main() {
   run("MMP", [&](const core::ProbabilisticMatcher& m) {
     return core::RunMmp(m, w.cover);
   });
-  table.Print(std::cout);
+  bench::JsonReport report("fig3d_time_hepth");
+  report.Table("timing", table);
 
   std::printf(
       "\n'free vars touched' is the total active size the matcher saw — "
       "the paper's mechanism: message passing lowers it.\n");
+  report.Write();
   return 0;
 }

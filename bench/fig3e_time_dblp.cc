@@ -41,6 +41,8 @@ int main() {
       return core::RunMmp(m, w.cover);
     });
   }
-  table.Print(std::cout);
+  bench::JsonReport report("fig3e_time_dblp");
+  report.Table("timing", table);
+  report.Write();
   return 0;
 }

@@ -43,6 +43,8 @@ int main() {
                   bench::Secs(full_seconds), bench::Secs(mmp.seconds),
                   TableWriter::Num(full_seconds / mmp.seconds, 1)});
   }
-  table.Print(std::cout);
+  bench::JsonReport report("fig3f_scaling");
+  report.Table("scaling", table);
+  report.Write();
   return 0;
 }

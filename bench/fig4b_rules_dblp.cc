@@ -25,10 +25,12 @@ int main() {
   table.AddRow(bench::PrRow("NO-MP", *w.dataset, no_mp));
   table.AddRow(bench::PrRow("SMP", *w.dataset, smp));
   table.AddRow(bench::PrRow("FULL", *w.dataset, full));
-  table.Print(std::cout);
+  bench::JsonReport report("fig4b_rules_dblp");
+  report.Table("accuracy", table);
 
   std::printf("\nSMP vs FULL (pre-closure): soundness %.3f completeness %.3f\n",
               eval::Soundness(smp_raw, full_raw),
               eval::Completeness(smp_raw, full_raw));
+  report.Write();
   return 0;
 }

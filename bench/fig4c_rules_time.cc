@@ -28,6 +28,8 @@ int main() {
     table.AddRow({w.name, bench::Secs(no_mp.seconds), bench::Secs(smp.seconds),
                   bench::Secs(full_timer.ElapsedSeconds())});
   }
-  table.Print(std::cout);
+  bench::JsonReport report("fig4c_rules_time");
+  report.Table("timing", table);
+  report.Write();
   return 0;
 }

@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "blocking/blocking_tokens.h"
+#include "blocking/lsh_cover.h"
+#include "blocking/minhash.h"
 #include "core/canopy.h"
 #include "core/match_set.h"
 #include "data/bib_generator.h"
@@ -12,6 +15,7 @@
 #include "mln/mln_matcher.h"
 #include "text/jaro_winkler.h"
 #include "text/levenshtein.h"
+#include "text/token_index.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -68,6 +72,43 @@ void BM_CanopyCover(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CanopyCover);
+
+void BM_TokenIndexCandidates(benchmark::State& state) {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  auto dataset = data::GenerateBibDataset(data::BibConfig::DblpLike(0.3));
+  const auto& refs = dataset->author_refs();
+  text::TokenIndex index;
+  for (size_t i = 0; i < refs.size(); ++i) {
+    index.AddDocument(static_cast<uint32_t>(i),
+                      blocking::AuthorBlockingTokens(dataset->entity(refs[i])));
+  }
+  uint32_t doc = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Candidates(doc, 0.45));
+    doc = (doc + 1) % static_cast<uint32_t>(index.num_documents());
+  }
+}
+BENCHMARK(BM_TokenIndexCandidates);
+
+void BM_MinHashSignature(benchmark::State& state) {
+  const blocking::MinHasher hasher;
+  const std::vector<std::string> tokens = {"gar", "aro", "rof", "ofa",
+                                           "fal", "ala", "lak", "aki",
+                                           "kis", "m|ga"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Signature(tokens));
+  }
+}
+BENCHMARK(BM_MinHashSignature);
+
+void BM_LshCover(benchmark::State& state) {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  auto dataset = data::GenerateBibDataset(data::BibConfig::DblpLike(0.3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blocking::BuildLshCover(*dataset));
+  }
+}
+BENCHMARK(BM_LshCover);
 
 void BM_NeighborhoodInference(benchmark::State& state) {
   auto dataset = data::GenerateBibDataset(data::BibConfig::HepthLike(0.3));

@@ -53,6 +53,8 @@ int main() {
                                    1),
                   std::to_string(on_grid.rounds)});
   }
-  table.Print(std::cout);
+  bench::JsonReport report("table1_grid");
+  report.Table("grid", table);
+  report.Write();
   return 0;
 }

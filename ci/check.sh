@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # CI gate: configure + build (warnings as errors) + tier-1 tests +
-# header self-containment + format check. Run from anywhere.
+# header self-containment + format check + bench smoke runs, then an
+# AddressSanitizer build re-running the tier-1 suite. Run from anywhere.
+# Set CEM_CI_SKIP_ASAN=1 to skip the sanitizer stage.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-ci}"
+ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-${REPO_ROOT}/build-ci-asan}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
 echo "== configure (${BUILD_DIR})"
@@ -21,5 +24,20 @@ cmake --build "${BUILD_DIR}" --target format_check
 
 echo "== ctest -L tier1"
 ctest --test-dir "${BUILD_DIR}" -L tier1 -j "${JOBS}" --output-on-failure
+
+echo "== ctest -L bench_smoke"
+ctest --test-dir "${BUILD_DIR}" -L bench_smoke -j "${JOBS}" --output-on-failure
+
+if [[ "${CEM_CI_SKIP_ASAN:-0}" != "1" ]]; then
+  echo "== ASAN configure (${ASAN_BUILD_DIR})"
+  cmake -B "${ASAN_BUILD_DIR}" -S "${REPO_ROOT}" \
+    -DCEM_SANITIZE=address -DCEM_BUILD_BENCH=OFF -DCEM_BUILD_EXAMPLES=OFF
+
+  echo "== ASAN build (-j${JOBS})"
+  cmake --build "${ASAN_BUILD_DIR}" -j "${JOBS}"
+
+  echo "== ASAN ctest -L tier1"
+  ctest --test-dir "${ASAN_BUILD_DIR}" -L tier1 -j "${JOBS}" --output-on-failure
+fi
 
 echo "== OK"

@@ -7,10 +7,11 @@
 #include <map>
 #include <vector>
 
-#include "core/canopy.h"
+#include "blocking/lsh_cover.h"
 #include "core/match_set.h"
 #include "core/message_passing.h"
 #include "data/bib_generator.h"
+#include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "mln/mln_matcher.h"
 #include "util/union_find.h"
@@ -27,9 +28,11 @@ int main() {
   std::printf("Candidate pairs to decide: %zu\n\n",
               dataset->num_candidate_pairs());
 
-  // Cover construction: canopies + boundary expansion (total cover).
-  const core::Cover cover = core::BuildCanopyCover(*dataset);
-  std::printf("Cover: %s\n\n", cover.Summary(*dataset).c_str());
+  // Cover construction (total cover); CEM_BLOCKING picks the strategy.
+  const auto builder = blocking::MakeCoverBuilder(eval::BenchBlocking());
+  const core::Cover cover = builder->Build(*dataset);
+  std::printf("Cover (%s blocking): %s\n\n", builder->name().c_str(),
+              cover.Summary(*dataset).c_str());
 
   // Collective matching with MMP.
   mln::MlnMatcher matcher(*dataset);

@@ -4,6 +4,7 @@
 //   dedup_tool [--input corpus.tsv] [--output matches.tsv]
 //              [--matcher mln|rules] [--scheme nomp|smp|mmp]
 //              [--machines N] [--generate hepth|dblp] [--scale S]
+//              [--blocking canopy|lsh]
 //
 // Reads a TSV corpus (see data/tsv_io.h; --generate synthesises one
 // instead), builds candidate pairs and a total cover, runs the chosen
@@ -16,11 +17,12 @@
 #include <memory>
 #include <string>
 
-#include "core/canopy.h"
+#include "blocking/lsh_cover.h"
 #include "core/grid_executor.h"
 #include "core/message_passing.h"
 #include "data/bib_generator.h"
 #include "data/tsv_io.h"
+#include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "mln/mln_matcher.h"
 #include "rules/rules_matcher.h"
@@ -36,6 +38,8 @@ struct Args {
   std::string matcher = "mln";
   std::string scheme = "mmp";
   std::string generate = "dblp";
+  /// Defaults from CEM_BLOCKING (like the benches); the flag overrides.
+  std::string blocking = core::BlockingStrategyName(eval::BenchBlocking());
   double scale = 0.5;
   uint32_t machines = 1;
 };
@@ -69,6 +73,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--generate");
       if (!v) return false;
       args->generate = v;
+    } else if (!std::strcmp(argv[i], "--blocking")) {
+      const char* v = next("--blocking");
+      if (!v) return false;
+      args->blocking = v;
     } else if (!std::strcmp(argv[i], "--scale")) {
       const char* v = next("--scale");
       if (!v) return false;
@@ -114,8 +122,16 @@ int main(int argc, char** argv) {
               dataset->author_refs().size(), dataset->num_candidate_pairs());
 
   // --- cover and matcher.
-  const core::Cover cover = core::BuildCanopyCover(*dataset);
-  std::printf("cover: %s\n", cover.Summary(*dataset).c_str());
+  const auto strategy = core::ParseBlockingStrategy(args.blocking);
+  if (!strategy.has_value()) {
+    std::fprintf(stderr, "unknown blocking '%s' (canopy|lsh)\n",
+                 args.blocking.c_str());
+    return 2;
+  }
+  const core::Cover cover =
+      blocking::MakeCoverBuilder(*strategy)->Build(*dataset);
+  std::printf("cover (%s blocking): %s\n", args.blocking.c_str(),
+              cover.Summary(*dataset).c_str());
 
   std::unique_ptr<core::Matcher> matcher;
   if (args.matcher == "mln") {

@@ -4,7 +4,7 @@
 
 #include <cstdio>
 
-#include "core/canopy.h"
+#include "blocking/lsh_cover.h"
 #include "core/grid_executor.h"
 #include "data/bib_generator.h"
 #include "eval/experiment.h"
@@ -14,9 +14,12 @@ int main() {
   using namespace cem;
 
   auto dataset = data::GenerateBibDataset(data::BibConfig::DblpLike(1.0));
-  const core::Cover cover = core::BuildCanopyCover(*dataset);
-  std::printf("Corpus: %zu refs, %zu neighborhoods\n\n",
-              dataset->author_refs().size(), cover.size());
+  // Blocking strategy is pluggable; CEM_BLOCKING=lsh switches to MinHash/LSH.
+  const auto builder = blocking::MakeCoverBuilder(eval::BenchBlocking());
+  const core::Cover cover = builder->Build(*dataset);
+  std::printf("Corpus: %zu refs, %zu neighborhoods (%s blocking)\n\n",
+              dataset->author_refs().size(), cover.size(),
+              builder->name().c_str());
 
   mln::MlnMatcher inner(*dataset);
   // The cost model emulates the paper's expensive-inference regime so that

@@ -1,0 +1,22 @@
+#include "blocking/blocking_tokens.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace cem::blocking {
+
+std::vector<std::string> AuthorBlockingTokens(const data::Entity& entity) {
+  std::string name = ToLower(entity.last_name);
+  std::vector<std::string> grams = CharNgrams(name, 3);
+  if (!entity.first_name.empty()) {
+    const char initial = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(entity.first_name[0])));
+    grams.push_back(std::string(1, initial) + "|" +
+                    name.substr(0, std::min<size_t>(2, name.size())));
+  }
+  return grams;
+}
+
+}  // namespace cem::blocking

@@ -1,0 +1,21 @@
+#ifndef CEM_BLOCKING_BLOCKING_TOKENS_H_
+#define CEM_BLOCKING_BLOCKING_TOKENS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/entity.h"
+
+namespace cem::blocking {
+
+/// Blocking tokens of one author reference: lower-cased last-name character
+/// trigrams plus a fused first-initial|last-name-head token so abbreviated
+/// references ("J. Doe") block together with full ones. This is the single
+/// token definition every blocking structure shares — the candidate-pair
+/// prefilter (Dataset::BuildCandidatePairs), the canopy cheap distance and
+/// the MinHash signatures — so their notions of "nearby" agree.
+std::vector<std::string> AuthorBlockingTokens(const data::Entity& entity);
+
+}  // namespace cem::blocking
+
+#endif  // CEM_BLOCKING_BLOCKING_TOKENS_H_

@@ -1,0 +1,82 @@
+#include "blocking/lsh_cover.h"
+
+#include <vector>
+
+#include "blocking/blocking_tokens.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace cem::blocking {
+
+core::Cover BuildLshCover(const data::Dataset& dataset,
+                          const LshCoverOptions& options) {
+  CEM_CHECK(options.tight >= options.loose)
+      << "tight threshold must be at least the loose threshold";
+  const std::vector<data::EntityId>& refs = dataset.author_refs();
+
+  // Signatures + banded index over author refs (dense doc ids = position).
+  const MinHasher hasher(options.minhash);
+  std::vector<std::vector<uint64_t>> signatures;
+  signatures.reserve(refs.size());
+  LshIndex index(options.lsh, hasher.num_hashes());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    signatures.push_back(
+        hasher.Signature(AuthorBlockingTokens(dataset.entity(refs[i]))));
+    index.AddDocument(static_cast<uint32_t>(i), signatures.back());
+  }
+
+  // Canopy-style assembly over LSH candidates: random seed order; banding
+  // plays the loose filter, estimated Jaccard plays the tight rule.
+  Rng rng(options.seed);
+  std::vector<uint32_t> seed_order(refs.size());
+  for (uint32_t i = 0; i < refs.size(); ++i) seed_order[i] = i;
+  rng.Shuffle(seed_order);
+
+  std::vector<bool> seeded_out(refs.size(), false);
+  core::Cover cover;
+  size_t pairs_considered = 0;
+  for (uint32_t seed : seed_order) {
+    if (seeded_out[seed]) continue;
+    seeded_out[seed] = true;
+    std::vector<data::EntityId> members{refs[seed]};
+    const std::vector<uint32_t> candidates = index.Candidates(seed);
+    pairs_considered += candidates.size();
+    for (uint32_t other : candidates) {
+      const double estimate =
+          MinHasher::EstimateJaccard(signatures[seed], signatures[other]);
+      if (estimate < options.loose) continue;
+      members.push_back(refs[other]);
+      if (estimate >= options.tight) seeded_out[other] = true;
+    }
+    cover.Add(std::move(members));
+  }
+  if (options.stats != nullptr) {
+    options.stats->pairs_considered = pairs_considered;
+  }
+
+  if (options.ensure_pair_coverage) core::PatchPairCoverage(dataset, cover);
+  if (options.expand_boundary) core::ExpandCoauthorBoundary(dataset, cover);
+
+  return cover;
+}
+
+core::Cover LshCoverBuilder::Build(const data::Dataset& dataset,
+                                   core::BlockingStats* stats) const {
+  LshCoverOptions options = options_;
+  options.stats = stats;
+  return BuildLshCover(dataset, options);
+}
+
+std::unique_ptr<core::CoverBuilder> MakeCoverBuilder(
+    core::BlockingStrategy strategy) {
+  switch (strategy) {
+    case core::BlockingStrategy::kCanopy:
+      return std::make_unique<core::CanopyCoverBuilder>();
+    case core::BlockingStrategy::kLsh:
+      return std::make_unique<LshCoverBuilder>();
+  }
+  CEM_CHECK(false) << "unknown blocking strategy";
+  return nullptr;
+}
+
+}  // namespace cem::blocking

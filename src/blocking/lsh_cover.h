@@ -1,0 +1,72 @@
+#ifndef CEM_BLOCKING_LSH_COVER_H_
+#define CEM_BLOCKING_LSH_COVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "blocking/lsh_index.h"
+#include "blocking/minhash.h"
+#include "core/cover.h"
+#include "core/cover_builder.h"
+#include "data/dataset.h"
+
+namespace cem::blocking {
+
+/// Options of the LSH-driven cover construction: banded-LSH candidate
+/// generation replaces the canopy pass's full postings-list scans, then the
+/// same totality patches (pair coverage, Coauthor boundary expansion) make
+/// the result a Definition-7 total cover.
+struct LshCoverOptions {
+  /// MinHash signature scheme. num_hashes must hold lsh.bands * lsh.rows.
+  MinHashOptions minhash;
+  /// Banding parameters. The defaults (32 bands x 2 rows) put the S-curve
+  /// knee near Jaccard 0.2 — below the trigram similarity of any pair worth
+  /// a matching decision, so recall loss stays in the noise.
+  LshParams lsh;
+  /// A colliding document joins a neighborhood only if its estimated
+  /// Jaccard is at least `loose`: prunes accidental bucket collisions.
+  double loose = 0.20;
+  /// Estimated Jaccard at which a joined document leaves the seed pool
+  /// (the canopy "tight" rule — larger -> more, overlapping neighborhoods).
+  double tight = 0.55;
+  /// Expand each neighborhood with its members' coauthors (total w.r.t.
+  /// Coauthor, Definition 7).
+  bool expand_boundary = true;
+  /// Patch any candidate pair the banding split into a shared neighborhood
+  /// (total w.r.t. Similar).
+  bool ensure_pair_coverage = true;
+  /// Seed for the neighborhood seed-selection order.
+  uint64_t seed = 7;
+  /// Optional out-param: filled with candidate-generation work counters.
+  core::BlockingStats* stats = nullptr;
+};
+
+/// Builds a cover of the dataset's author references from MinHash + banded
+/// LSH candidate generation, patched total like the canopy cover. Same
+/// blocking tokens as the canopy/candidate-pair passes, so the strategies
+/// agree on what "nearby" means and differ only in how they search it.
+core::Cover BuildLshCover(const data::Dataset& dataset,
+                          const LshCoverOptions& options = {});
+
+/// The LSH strategy behind the CoverBuilder interface.
+class LshCoverBuilder : public core::CoverBuilder {
+ public:
+  explicit LshCoverBuilder(LshCoverOptions options = {})
+      : options_(options) {}
+
+  core::Cover Build(const data::Dataset& dataset,
+                    core::BlockingStats* stats = nullptr) const override;
+  std::string name() const override { return "lsh"; }
+
+ private:
+  LshCoverOptions options_;
+};
+
+/// Factory over the registered strategies, default options each.
+std::unique_ptr<core::CoverBuilder> MakeCoverBuilder(
+    core::BlockingStrategy strategy);
+
+}  // namespace cem::blocking
+
+#endif  // CEM_BLOCKING_LSH_COVER_H_

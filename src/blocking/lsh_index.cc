@@ -1,0 +1,75 @@
+#include "blocking/lsh_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cem::blocking {
+namespace {
+
+/// SplitMix64 finalizer (same mixer the MinHasher uses).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+LshIndex::LshIndex(const LshParams& params, uint32_t num_hashes)
+    : params_(params), num_hashes_(num_hashes) {
+  CEM_CHECK(params.bands > 0 && params.rows > 0);
+  CEM_CHECK(params.bands * params.rows <= num_hashes)
+      << "bands*rows must fit in the signature length";
+}
+
+void LshIndex::AddDocument(uint32_t doc_id,
+                           const std::vector<uint64_t>& signature) {
+  CEM_CHECK(signature.size() == num_hashes_)
+      << "signature length mismatch with the index configuration";
+  if (doc_id >= doc_band_keys_.size()) doc_band_keys_.resize(doc_id + 1);
+  CEM_CHECK(doc_band_keys_[doc_id].empty()) << "document added twice";
+  std::vector<uint64_t>& keys = doc_band_keys_[doc_id];
+  keys.reserve(params_.bands);
+  for (uint32_t band = 0; band < params_.bands; ++band) {
+    uint64_t key = Mix(band + 1);
+    for (uint32_t row = 0; row < params_.rows; ++row) {
+      key = Mix(key ^ signature[band * params_.rows + row]);
+    }
+    keys.push_back(key);
+    buckets_[key].push_back(doc_id);
+  }
+}
+
+std::vector<uint32_t> LshIndex::Candidates(uint32_t doc_id) const {
+  CEM_CHECK(doc_id < doc_band_keys_.size());
+  std::vector<uint32_t> out;
+  for (uint64_t key : doc_band_keys_[doc_id]) {
+    const auto it = buckets_.find(key);
+    CEM_CHECK(it != buckets_.end());
+    for (uint32_t other : it->second) {
+      if (other != doc_id) out.push_back(other);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t LshIndex::TotalBucketPairs() const {
+  size_t total = 0;
+  for (const auto& [key, members] : buckets_) {
+    total += members.size() * (members.size() - 1) / 2;
+  }
+  return total;
+}
+
+double LshIndex::CollisionProbability(double jaccard, uint32_t bands,
+                                      uint32_t rows) {
+  const double band_match = std::pow(jaccard, static_cast<double>(rows));
+  return 1.0 - std::pow(1.0 - band_match, static_cast<double>(bands));
+}
+
+}  // namespace cem::blocking

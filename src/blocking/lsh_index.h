@@ -1,0 +1,67 @@
+#ifndef CEM_BLOCKING_LSH_INDEX_H_
+#define CEM_BLOCKING_LSH_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace cem::blocking {
+
+/// Banding parameters: a signature of >= bands*rows components is split
+/// into `bands` bands of `rows` components each; two documents become
+/// candidates iff they agree on every component of at least one band.
+/// P(candidate | Jaccard s) = 1 - (1 - s^rows)^bands — the S-curve whose
+/// knee the caller places at the similarity worth keeping.
+struct LshParams {
+  uint32_t bands = 32;
+  uint32_t rows = 2;
+};
+
+/// Banded LSH buckets over MinHash signatures: sub-quadratic candidate
+/// generation. Documents are hashed into one bucket per band; candidate
+/// pairs are pairs sharing a bucket. Deterministic: bucket keys depend only
+/// on the signature components and the band index.
+class LshIndex {
+ public:
+  /// `num_hashes` is the signature length documents will be added with;
+  /// bands*rows must fit inside it (excess components are ignored).
+  LshIndex(const LshParams& params, uint32_t num_hashes);
+
+  /// Adds a document; `doc_id` values should be dense (0..n-1) and each id
+  /// added once. The signature must have `num_hashes` components.
+  void AddDocument(uint32_t doc_id, const std::vector<uint64_t>& signature);
+
+  size_t num_documents() const { return doc_band_keys_.size(); }
+
+  /// Number of distinct non-empty buckets across all bands.
+  size_t num_buckets() const { return buckets_.size(); }
+
+  /// Documents sharing at least one band bucket with `doc_id`, sorted by
+  /// doc id, deduplicated, excluding `doc_id` itself.
+  std::vector<uint32_t> Candidates(uint32_t doc_id) const;
+
+  /// Sum over buckets of C(size, 2): the candidate pairs the banding pass
+  /// generates, counted with multiplicity — the blocking-work metric the
+  /// ablation compares against full postings scans.
+  size_t TotalBucketPairs() const;
+
+  const LshParams& params() const { return params_; }
+
+  /// The banding S-curve: probability a pair at Jaccard `jaccard` becomes a
+  /// candidate under (bands, rows). Monotonically increasing in `jaccard`.
+  static double CollisionProbability(double jaccard, uint32_t bands,
+                                     uint32_t rows);
+
+ private:
+  LshParams params_;
+  uint32_t num_hashes_;
+  /// Bucket key -> member doc ids, in insertion (= doc id) order.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets_;
+  /// Per document: its `bands` bucket keys, for candidate lookup.
+  std::vector<std::vector<uint64_t>> doc_band_keys_;
+};
+
+}  // namespace cem::blocking
+
+#endif  // CEM_BLOCKING_LSH_INDEX_H_

@@ -1,0 +1,60 @@
+#include "blocking/minhash.h"
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace cem::blocking {
+namespace {
+
+/// FNV-1a over the token bytes: the base hash each permutation salts.
+uint64_t Fnv1a64(const std::string& token) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : token) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// SplitMix64 finalizer: full-avalanche mix of the salted base hash.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+MinHasher::MinHasher(const MinHashOptions& options) {
+  CEM_CHECK(options.num_hashes > 0);
+  Rng rng(options.seed);
+  salts_.reserve(options.num_hashes);
+  for (uint32_t i = 0; i < options.num_hashes; ++i) {
+    salts_.push_back(rng.Next());
+  }
+}
+
+std::vector<uint64_t> MinHasher::Signature(
+    const std::vector<std::string>& tokens) const {
+  std::vector<uint64_t> signature(salts_.size(), kEmptySlot);
+  for (const std::string& token : tokens) {
+    const uint64_t base = Fnv1a64(token);
+    for (size_t i = 0; i < salts_.size(); ++i) {
+      const uint64_t h = Mix(base ^ salts_[i]);
+      if (h < signature[i]) signature[i] = h;
+    }
+  }
+  return signature;
+}
+
+double MinHasher::EstimateJaccard(const std::vector<uint64_t>& a,
+                                  const std::vector<uint64_t>& b) {
+  CEM_CHECK(a.size() == b.size() && !a.empty())
+      << "signatures must share one MinHasher configuration";
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) agree += a[i] == b[i];
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+}  // namespace cem::blocking

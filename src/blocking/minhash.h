@@ -1,0 +1,54 @@
+#ifndef CEM_BLOCKING_MINHASH_H_
+#define CEM_BLOCKING_MINHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cem::blocking {
+
+/// Options of the MinHash signature scheme.
+struct MinHashOptions {
+  /// Signature length k: number of hash permutations. More hashes tighten
+  /// the Jaccard estimate (stddev ~= sqrt(s(1-s)/k)) at linear cost.
+  uint32_t num_hashes = 64;
+  /// Seed deriving the per-permutation salts; equal seeds give equal
+  /// signatures for equal token sets, across processes and runs.
+  uint64_t seed = 0x1234abcd9e3779b9ULL;
+};
+
+/// k-permutation MinHash over string token sets [Broder 1997]: component i
+/// of a signature is the minimum of a salted 64-bit hash over the tokens.
+/// Two sets agree on component i with probability equal to their Jaccard
+/// similarity, which is what banded LSH exploits. Deterministic: signatures
+/// depend only on (tokens, options), never on global state.
+class MinHasher {
+ public:
+  explicit MinHasher(const MinHashOptions& options = {});
+
+  uint32_t num_hashes() const {
+    return static_cast<uint32_t>(salts_.size());
+  }
+
+  /// Signature component used for the empty token set (no token can beat
+  /// it, so empty sets collide only with empty sets).
+  static constexpr uint64_t kEmptySlot = ~0ULL;
+
+  /// Returns the k-component signature of `tokens` (duplicates are harmless
+  /// — MinHash has set semantics). Callers pass the shared lower-cased
+  /// blocking tokens so signatures agree with the token-overlap index.
+  std::vector<uint64_t> Signature(const std::vector<std::string>& tokens) const;
+
+  /// Unbiased Jaccard estimate: the fraction of agreeing components.
+  /// Signatures must come from the same MinHasher configuration.
+  static double EstimateJaccard(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b);
+
+ private:
+  std::vector<uint64_t> salts_;
+};
+
+}  // namespace cem::blocking
+
+#endif  // CEM_BLOCKING_MINHASH_H_

@@ -1,35 +1,13 @@
 #include "core/canopy.h"
 
-#include <algorithm>
-#include <cctype>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "blocking/blocking_tokens.h"
 #include "text/token_index.h"
 #include "util/logging.h"
 #include "util/random.h"
-#include "util/string_util.h"
 
 namespace cem::core {
-namespace {
-
-/// Blocking tokens for one author reference — must stay in sync with
-/// Dataset::BuildCandidatePairs so canopies subsume candidate pairs.
-std::vector<std::string> BlockingTokens(const data::Entity& e) {
-  std::string name = ToLower(e.last_name);
-  std::vector<std::string> grams = CharNgrams(name, 3);
-  if (!e.first_name.empty()) {
-    grams.push_back(
-        std::string(1, static_cast<char>(
-                           std::tolower(static_cast<unsigned char>(
-                               e.first_name[0])))) +
-        "|" + name.substr(0, std::min<size_t>(2, name.size())));
-  }
-  return grams;
-}
-
-}  // namespace
 
 Cover BuildCanopyCover(const data::Dataset& dataset,
                        const CanopyOptions& options) {
@@ -41,7 +19,7 @@ Cover BuildCanopyCover(const data::Dataset& dataset,
   text::TokenIndex index;
   for (size_t i = 0; i < refs.size(); ++i) {
     index.AddDocument(static_cast<uint32_t>(i),
-                      BlockingTokens(dataset.entity(refs[i])));
+                      blocking::AuthorBlockingTokens(dataset.entity(refs[i])));
   }
 
   // Canopies: random seed order; loose joins, tight removes from seed pool.
@@ -52,56 +30,28 @@ Cover BuildCanopyCover(const data::Dataset& dataset,
 
   std::vector<bool> seeded_out(refs.size(), false);
   Cover cover;
+  size_t pairs_scored = 0;
   for (uint32_t seed : seed_order) {
     if (seeded_out[seed]) continue;
     seeded_out[seed] = true;
     std::vector<data::EntityId> members{refs[seed]};
-    for (const auto& neighbor : index.Candidates(seed, options.loose)) {
+    size_t scored = 0;
+    for (const auto& neighbor :
+         index.Candidates(seed, options.loose, &scored)) {
       members.push_back(refs[neighbor.doc_id]);
       if (neighbor.score >= options.tight) seeded_out[neighbor.doc_id] = true;
     }
+    pairs_scored += scored;
     cover.Add(std::move(members));
   }
+  if (options.stats != nullptr) options.stats->pairs_considered = pairs_scored;
 
   // Patch: make the cover total over Similar — every candidate pair inside
-  // some neighborhood. Index which neighborhoods contain each entity.
-  if (options.ensure_pair_coverage) {
-    std::unordered_map<data::EntityId, std::vector<size_t>> homes;
-    for (size_t i = 0; i < cover.size(); ++i) {
-      for (data::EntityId e : cover.neighborhood(i).entities) {
-        homes[e].push_back(i);
-      }
-    }
-    for (const data::CandidatePair& cp : dataset.candidate_pairs()) {
-      const auto& homes_a = homes[cp.pair.a];
-      const auto& homes_b = homes[cp.pair.b];
-      bool together = false;
-      for (size_t ha : homes_a) {
-        if (std::find(homes_b.begin(), homes_b.end(), ha) != homes_b.end()) {
-          together = true;
-          break;
-        }
-      }
-      if (!together) {
-        CEM_CHECK(!homes_a.empty()) << "cover must contain every ref";
-        cover.AddEntityTo(homes_a.front(), cp.pair.b);
-        homes[cp.pair.b].push_back(homes_a.front());
-      }
-    }
-  }
+  // some neighborhood.
+  if (options.ensure_pair_coverage) PatchPairCoverage(dataset, cover);
 
-  // Boundary expansion (Section 4): add each member's coauthors, making the
-  // cover total w.r.t. Coauthor. This is what brings dissimilar entities —
-  // and in general entities of other types — into a neighborhood.
-  if (options.expand_boundary) {
-    for (size_t i = 0; i < cover.size(); ++i) {
-      std::unordered_set<data::EntityId> boundary;
-      for (data::EntityId e : cover.neighborhood(i).entities) {
-        for (data::EntityId c : dataset.Coauthors(e)) boundary.insert(c);
-      }
-      for (data::EntityId c : boundary) cover.AddEntityTo(i, c);
-    }
-  }
+  // Boundary expansion: make the cover total w.r.t. Coauthor.
+  if (options.expand_boundary) ExpandCoauthorBoundary(dataset, cover);
 
   return cover;
 }

@@ -27,6 +27,8 @@ struct CanopyOptions {
   bool ensure_pair_coverage = true;
   /// Seed for the canopy seed-selection order.
   uint64_t seed = 7;
+  /// Optional out-param: filled with candidate-generation work counters.
+  BlockingStats* stats = nullptr;
 };
 
 /// Builds a cover of the dataset's author references with the Canopies

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "util/logging.h"
@@ -112,6 +113,41 @@ double Cover::CandidatePairCoverage(const data::Dataset& dataset) const {
   }
   return static_cast<double>(covered.size()) /
          static_cast<double>(dataset.num_candidate_pairs());
+}
+
+void PatchPairCoverage(const data::Dataset& dataset, Cover& cover) {
+  std::unordered_map<data::EntityId, std::vector<size_t>> homes;
+  for (size_t i = 0; i < cover.size(); ++i) {
+    for (data::EntityId e : cover.neighborhood(i).entities) {
+      homes[e].push_back(i);
+    }
+  }
+  for (const data::CandidatePair& cp : dataset.candidate_pairs()) {
+    const auto& homes_a = homes[cp.pair.a];
+    const auto& homes_b = homes[cp.pair.b];
+    bool together = false;
+    for (size_t ha : homes_a) {
+      if (std::find(homes_b.begin(), homes_b.end(), ha) != homes_b.end()) {
+        together = true;
+        break;
+      }
+    }
+    if (!together) {
+      CEM_CHECK(!homes_a.empty()) << "cover must contain every ref";
+      cover.AddEntityTo(homes_a.front(), cp.pair.b);
+      homes[cp.pair.b].push_back(homes_a.front());
+    }
+  }
+}
+
+void ExpandCoauthorBoundary(const data::Dataset& dataset, Cover& cover) {
+  for (size_t i = 0; i < cover.size(); ++i) {
+    std::unordered_set<data::EntityId> boundary;
+    for (data::EntityId e : cover.neighborhood(i).entities) {
+      for (data::EntityId c : dataset.Coauthors(e)) boundary.insert(c);
+    }
+    for (data::EntityId c : boundary) cover.AddEntityTo(i, c);
+  }
 }
 
 std::string Cover::Summary(const data::Dataset& dataset) const {

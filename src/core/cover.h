@@ -16,6 +16,14 @@ struct Neighborhood {
   std::vector<data::EntityId> entities;
 };
 
+/// Instrumentation of a cover-construction pass, for the blocking ablation:
+/// how much work the candidate-generation stage did.
+struct BlockingStats {
+  /// Number of (doc, doc) pairs the blocking pass scored or bucketed
+  /// together — the dominant cost of candidate generation.
+  size_t pairs_considered = 0;
+};
+
 /// A cover: a set of (potentially overlapping) neighborhoods whose union is
 /// the set of entities under consideration (here: the author references —
 /// papers participate through relations only).
@@ -65,6 +73,23 @@ class Cover {
  private:
   std::vector<Neighborhood> neighborhoods_;
 };
+
+// --- totality patches -------------------------------------------------------
+// Shared by every cover builder (canopy, LSH, future strategies): a raw
+// blocking pass rarely produces a cover satisfying Definition 7 on its own,
+// so builders run these two patches as a post-pass.
+
+/// Makes `cover` total w.r.t. Similar: every candidate pair ends up inside
+/// some neighborhood (any pair the blocking pass split is patched into a
+/// neighborhood of its first endpoint). Every author ref must already be
+/// covered.
+void PatchPairCoverage(const data::Dataset& dataset, Cover& cover);
+
+/// Boundary expansion (Section 4): adds each member's coauthors to its
+/// neighborhoods, making `cover` total w.r.t. Coauthor (Definition 7). This
+/// is what brings dissimilar entities — and in general entities of other
+/// types — into a neighborhood.
+void ExpandCoauthorBoundary(const data::Dataset& dataset, Cover& cover);
 
 }  // namespace cem::core
 

@@ -1,0 +1,31 @@
+#include "core/cover_builder.h"
+
+#include "util/string_util.h"
+
+namespace cem::core {
+
+const char* BlockingStrategyName(BlockingStrategy strategy) {
+  switch (strategy) {
+    case BlockingStrategy::kCanopy:
+      return "canopy";
+    case BlockingStrategy::kLsh:
+      return "lsh";
+  }
+  return "unknown";
+}
+
+std::optional<BlockingStrategy> ParseBlockingStrategy(std::string_view name) {
+  const std::string lower = ToLower(name);
+  if (lower == "canopy") return BlockingStrategy::kCanopy;
+  if (lower == "lsh") return BlockingStrategy::kLsh;
+  return std::nullopt;
+}
+
+Cover CanopyCoverBuilder::Build(const data::Dataset& dataset,
+                                BlockingStats* stats) const {
+  CanopyOptions options = options_;
+  options.stats = stats;
+  return BuildCanopyCover(dataset, options);
+}
+
+}  // namespace cem::core

@@ -1,0 +1,67 @@
+#ifndef CEM_CORE_COVER_BUILDER_H_
+#define CEM_CORE_COVER_BUILDER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/canopy.h"
+#include "core/cover.h"
+#include "data/dataset.h"
+
+namespace cem::core {
+
+/// Which blocking subsystem forms the neighborhoods. The framework is
+/// agnostic (Section 4 only requires a total cover); both strategies run
+/// the same totality patches, so every message-passing scheme is sound and
+/// consistent under either.
+enum class BlockingStrategy {
+  /// Token-overlap canopies [McCallum et al., KDD 2000]: full postings-list
+  /// scans, exact overlap scores. The accuracy reference.
+  kCanopy = 0,
+  /// MinHash signatures + banded LSH buckets: sub-quadratic candidate
+  /// generation with tunable recall. The scale play.
+  kLsh = 1,
+};
+
+const char* BlockingStrategyName(BlockingStrategy strategy);
+
+/// Parses "canopy" / "lsh" (case-insensitive); nullopt on anything else.
+std::optional<BlockingStrategy> ParseBlockingStrategy(std::string_view name);
+
+/// Strategy interface over cover construction: every blocking subsystem
+/// (canopy, LSH, future ones) builds a Definition-7 total cover from a
+/// finalized dataset behind this interface, so the eval harness, grid
+/// executor drivers and benches are strategy-agnostic.
+class CoverBuilder {
+ public:
+  virtual ~CoverBuilder() = default;
+
+  /// Builds a cover of `dataset`'s author references. Must be total w.r.t.
+  /// Similar and Coauthor unless the concrete options disable the patches
+  /// (ablations only). `stats`, when non-null, receives candidate-generation
+  /// work counters.
+  virtual Cover Build(const data::Dataset& dataset,
+                      BlockingStats* stats = nullptr) const = 0;
+
+  /// Human-readable strategy name for logs/tables.
+  virtual std::string name() const = 0;
+};
+
+/// The canopy strategy behind the CoverBuilder interface.
+class CanopyCoverBuilder : public CoverBuilder {
+ public:
+  explicit CanopyCoverBuilder(CanopyOptions options = {})
+      : options_(options) {}
+
+  Cover Build(const data::Dataset& dataset,
+              BlockingStats* stats = nullptr) const override;
+  std::string name() const override { return "canopy"; }
+
+ private:
+  CanopyOptions options_;
+};
+
+}  // namespace cem::core
+
+#endif  // CEM_CORE_COVER_BUILDER_H_

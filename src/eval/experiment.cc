@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdlib>
 #include <unordered_set>
+#include <utility>
 
+#include "blocking/lsh_cover.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -18,20 +20,48 @@ double BenchScale() {
   return std::clamp(parsed, 0.05, 100.0);
 }
 
-Workload MakeHepthWorkload(double scale) {
+core::BlockingStrategy BenchBlocking() {
+  const char* raw = std::getenv("CEM_BLOCKING");
+  if (raw == nullptr) return core::BlockingStrategy::kCanopy;
+  const auto parsed = core::ParseBlockingStrategy(raw);
+  if (!parsed.has_value()) {
+    CEM_LOG(Warning) << "unknown CEM_BLOCKING value '" << raw
+                     << "', using canopy";
+    return core::BlockingStrategy::kCanopy;
+  }
+  return *parsed;
+}
+
+namespace {
+
+Workload MakeBibWorkload(std::string name, const data::BibConfig& config,
+                         core::BlockingStrategy blocking) {
   Workload w;
-  w.name = "HEPTH-like";
-  w.dataset = data::GenerateBibDataset(data::BibConfig::HepthLike(scale));
-  w.cover = core::BuildCanopyCover(*w.dataset);
+  w.name = std::move(name);
+  w.blocking = blocking;
+  w.dataset = data::GenerateBibDataset(config);
+  w.cover = blocking::MakeCoverBuilder(blocking)->Build(*w.dataset);
   return w;
 }
 
+}  // namespace
+
+Workload MakeHepthWorkload(double scale) {
+  return MakeHepthWorkload(scale, BenchBlocking());
+}
+
+Workload MakeHepthWorkload(double scale, core::BlockingStrategy blocking) {
+  return MakeBibWorkload("HEPTH-like", data::BibConfig::HepthLike(scale),
+                         blocking);
+}
+
 Workload MakeDblpWorkload(double scale) {
-  Workload w;
-  w.name = "DBLP-like";
-  w.dataset = data::GenerateBibDataset(data::BibConfig::DblpLike(scale));
-  w.cover = core::BuildCanopyCover(*w.dataset);
-  return w;
+  return MakeDblpWorkload(scale, BenchBlocking());
+}
+
+Workload MakeDblpWorkload(double scale, core::BlockingStrategy blocking) {
+  return MakeBibWorkload("DBLP-like", data::BibConfig::DblpLike(scale),
+                         blocking);
 }
 
 CostModelMatcher::CostModelMatcher(const core::Matcher& inner,

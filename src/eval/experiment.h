@@ -8,7 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "core/canopy.h"
+#include "core/cover_builder.h"
 #include "core/matcher.h"
 #include "core/message_passing.h"
 #include "data/bib_generator.h"
@@ -20,18 +20,28 @@ namespace cem::eval {
 /// [0.05, 100]) — one knob scaling every benchmark workload.
 double BenchScale();
 
+/// Reads the CEM_BLOCKING environment variable ("canopy" or "lsh", default
+/// canopy) — one knob switching every benchmark workload's cover builder,
+/// so each figure/bench runs under either blocking strategy unchanged.
+core::BlockingStrategy BenchBlocking();
+
 /// A prepared experiment workload: corpus + cover, shared by the benches.
 struct Workload {
   std::string name;  // "HEPTH-like" / "DBLP-like" / ...
+  /// The strategy that built `cover`.
+  core::BlockingStrategy blocking = core::BlockingStrategy::kCanopy;
   std::unique_ptr<data::Dataset> dataset;
   core::Cover cover;
 };
 
-/// Builds the HEPTH-like workload at `scale` (see data::BibConfig).
+/// Builds the HEPTH-like workload at `scale` (see data::BibConfig) with the
+/// given blocking strategy; the single-argument form uses BenchBlocking().
 Workload MakeHepthWorkload(double scale);
+Workload MakeHepthWorkload(double scale, core::BlockingStrategy blocking);
 
 /// Builds the DBLP-like workload at `scale`.
 Workload MakeDblpWorkload(double scale);
+Workload MakeDblpWorkload(double scale, core::BlockingStrategy blocking);
 
 /// Decorator that makes any matcher cost what the paper's matcher costs.
 ///

@@ -25,16 +25,28 @@ void TokenIndex::AddDocument(uint32_t doc_id,
 }
 
 std::vector<TokenIndex::Neighbor> TokenIndex::Candidates(
-    uint32_t doc_id, double min_score) const {
+    uint32_t doc_id, double min_score, size_t* num_scored) const {
   CEM_CHECK(doc_id < doc_token_counts_.size());
-  std::unordered_map<uint32_t, uint32_t> overlap;
+  // One lookup per token: collect the postings lists, then reserve the
+  // overlap map from their summed sizes (bounds the number of distinct
+  // overlapping documents) so it never rehashes mid-scan.
+  size_t postings_total = 0;
+  std::vector<const std::vector<uint32_t>*> lists;
+  lists.reserve(doc_tokens_[doc_id].size());
   for (const std::string& t : doc_tokens_[doc_id]) {
     auto it = postings_.find(t);
     if (it == postings_.end()) continue;
-    for (uint32_t other : it->second) {
+    lists.push_back(&it->second);
+    postings_total += it->second.size();
+  }
+  std::unordered_map<uint32_t, uint32_t> overlap;
+  overlap.reserve(std::min(postings_total, doc_token_counts_.size()));
+  for (const std::vector<uint32_t>* list : lists) {
+    for (uint32_t other : *list) {
       if (other != doc_id) ++overlap[other];
     }
   }
+  if (num_scored != nullptr) *num_scored = overlap.size();
   std::vector<Neighbor> out;
   out.reserve(overlap.size());
   const double my_count = doc_token_counts_[doc_id];

@@ -33,7 +33,10 @@ class TokenIndex {
 
   /// Returns documents sharing >= 1 token with `doc_id` whose overlap score
   /// is at least `min_score`, excluding `doc_id` itself. Order is by doc id.
-  std::vector<Neighbor> Candidates(uint32_t doc_id, double min_score) const;
+  /// When `num_scored` is non-null it receives the number of distinct
+  /// documents scored (the blocking work done, before the min_score filter).
+  std::vector<Neighbor> Candidates(uint32_t doc_id, double min_score,
+                                   size_t* num_scored = nullptr) const;
 
   /// Tokens shared between index entry construction calls are interned; this
   /// returns the number of distinct tokens seen.

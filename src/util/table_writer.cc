@@ -1,7 +1,9 @@
 #include "util/table_writer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/logging.h"
 
@@ -45,6 +47,62 @@ void TableWriter::Print(std::ostream& os) const {
   }
   os << '\n';
   for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+/// Emits `cell` as a bare JSON number when it parses fully as a finite one
+/// (JSON has no NaN/Inf literals), else as an escaped JSON string.
+void PrintJsonCell(std::ostream& os, const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    const double value = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str() + cell.size() && std::isfinite(value)) {
+      os << cell;
+      return;
+    }
+  }
+  os << '"';
+  for (char c : cell) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void TableWriter::PrintJson(std::ostream& os) const {
+  os << "{\"headers\": [";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << ", ";
+    PrintJsonCell(os, headers_[c]);
+  }
+  os << "], \"rows\": [";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) os << ", ";
+    os << '[';
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) os << ", ";
+      PrintJsonCell(os, rows_[r][c]);
+    }
+    os << ']';
+  }
+  os << "]}";
 }
 
 void TableWriter::PrintCsv(std::ostream& os) const {

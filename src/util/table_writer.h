@@ -27,6 +27,11 @@ class TableWriter {
   /// Writes the table as comma-separated values (machine readable).
   void PrintCsv(std::ostream& os) const;
 
+  /// Writes the table as a JSON object {"headers": [...], "rows": [[...]]}.
+  /// Cells that parse fully as numbers are emitted as numbers, the rest as
+  /// strings — so downstream tooling gets typed per-metric values.
+  void PrintJson(std::ostream& os) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,143 @@
+// Property tests for the LSH-driven cover builder: the output must be a
+// Definition-7 total cover (total w.r.t. Similar and Coauthor) on
+// randomised bibliography corpora, the CoverBuilder strategy interface
+// must agree with the underlying free functions, and the grid executor
+// must stay scheme-consistent under LSH covers (mirrors
+// grid_consistency_test.cc).
+
+#include <cstdint>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "blocking/lsh_cover.h"
+#include "core/canopy.h"
+#include "core/cover_builder.h"
+#include "core/grid_executor.h"
+#include "core/message_passing.h"
+#include "data/bib_generator.h"
+#include "mln/mln_matcher.h"
+
+namespace cem {
+namespace {
+
+using core::BlockingStrategy;
+using core::Cover;
+using core::GridOptions;
+using core::MpScheme;
+
+constexpr uint32_t kMachineCounts[] = {1, 4, 30};
+
+/// A small noisy bibliography corpus, distinct per seed.
+std::unique_ptr<data::Dataset> MakeSmallBib(uint64_t seed) {
+  data::BibConfig config = data::BibConfig::DblpLike(0.05);
+  config.seed = seed;
+  return data::GenerateBibDataset(config);
+}
+
+void ExpectSameCover(const Cover& a, const Cover& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.neighborhood(i).entities, b.neighborhood(i).entities)
+        << "neighborhood " << i;
+  }
+}
+
+class LshCoverProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LshCoverProperty, OutputIsTotalCover) {
+  const auto dataset = MakeSmallBib(GetParam());
+  const Cover cover = blocking::BuildLshCover(*dataset);
+  EXPECT_TRUE(cover.CoversAllAuthorRefs(*dataset));
+  // Total w.r.t. Similar: every candidate pair inside some neighborhood.
+  EXPECT_DOUBLE_EQ(cover.CandidatePairCoverage(*dataset), 1.0);
+  // Total w.r.t. Coauthor (Definition 7).
+  EXPECT_TRUE(cover.IsTotalForCoauthor(*dataset));
+}
+
+TEST_P(LshCoverProperty, BuildIsDeterministic) {
+  const auto dataset = MakeSmallBib(GetParam());
+  ExpectSameCover(blocking::BuildLshCover(*dataset),
+                  blocking::BuildLshCover(*dataset));
+}
+
+TEST_P(LshCoverProperty, BuilderInterfaceMatchesFreeFunctions) {
+  const auto dataset = MakeSmallBib(GetParam());
+  ExpectSameCover(
+      blocking::MakeCoverBuilder(BlockingStrategy::kCanopy)->Build(*dataset),
+      core::BuildCanopyCover(*dataset));
+  ExpectSameCover(
+      blocking::MakeCoverBuilder(BlockingStrategy::kLsh)->Build(*dataset),
+      blocking::BuildLshCover(*dataset));
+}
+
+TEST_P(LshCoverProperty, GridSmpConsistentUnderLshCover) {
+  const auto dataset = MakeSmallBib(GetParam());
+  const Cover cover = blocking::BuildLshCover(*dataset);
+  mln::MlnMatcher matcher(*dataset);
+  const auto reference = core::RunSmp(matcher, cover).matches;
+  for (uint32_t machines : kMachineCounts) {
+    GridOptions options;
+    options.scheme = MpScheme::kSmp;
+    options.num_machines = machines;
+    options.seed = GetParam() ^ machines;
+    EXPECT_EQ(core::RunGrid(matcher, cover, options).matches, reference)
+        << "seed " << GetParam() << ", " << machines << " machines";
+  }
+}
+
+TEST_P(LshCoverProperty, GridMmpConsistentUnderLshCover) {
+  const auto dataset = MakeSmallBib(GetParam());
+  const Cover cover = blocking::BuildLshCover(*dataset);
+  mln::MlnMatcher matcher(*dataset);
+  const auto reference = core::RunMmp(matcher, cover).matches;
+  for (uint32_t machines : kMachineCounts) {
+    GridOptions options;
+    options.scheme = MpScheme::kMmp;
+    options.num_machines = machines;
+    options.seed = GetParam() ^ machines;
+    EXPECT_EQ(core::RunGrid(matcher, cover, options).matches, reference)
+        << "seed " << GetParam() << ", " << machines << " machines";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, LshCoverProperty,
+                         ::testing::Range<uint64_t>(900, 912));
+
+TEST(BlockingStrategyTest, ParseRoundTrips) {
+  EXPECT_EQ(core::ParseBlockingStrategy("canopy"), BlockingStrategy::kCanopy);
+  EXPECT_EQ(core::ParseBlockingStrategy("LSH"), BlockingStrategy::kLsh);
+  EXPECT_EQ(core::ParseBlockingStrategy("nope"), std::nullopt);
+  for (const BlockingStrategy s :
+       {BlockingStrategy::kCanopy, BlockingStrategy::kLsh}) {
+    EXPECT_EQ(core::ParseBlockingStrategy(core::BlockingStrategyName(s)), s);
+  }
+}
+
+TEST(BlockingStrategyTest, BuilderNamesMatchStrategyNames) {
+  for (const BlockingStrategy s :
+       {BlockingStrategy::kCanopy, BlockingStrategy::kLsh}) {
+    EXPECT_EQ(blocking::MakeCoverBuilder(s)->name(),
+              core::BlockingStrategyName(s));
+  }
+}
+
+TEST(BlockingStatsTest, LshConsidersFewerPairsThanCanopy) {
+  // The point of the subsystem: banded candidate generation does less work
+  // than full postings-list scans on a realistic corpus.
+  const auto dataset = MakeSmallBib(4242);
+  core::BlockingStats canopy_stats;
+  core::CanopyOptions canopy_options;
+  canopy_options.stats = &canopy_stats;
+  core::BuildCanopyCover(*dataset, canopy_options);
+  core::BlockingStats lsh_stats;
+  blocking::LshCoverOptions lsh_options;
+  lsh_options.stats = &lsh_stats;
+  blocking::BuildLshCover(*dataset, lsh_options);
+  EXPECT_GT(canopy_stats.pairs_considered, 0u);
+  EXPECT_GT(lsh_stats.pairs_considered, 0u);
+  EXPECT_LT(lsh_stats.pairs_considered, canopy_stats.pairs_considered);
+}
+
+}  // namespace
+}  // namespace cem

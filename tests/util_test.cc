@@ -1,5 +1,7 @@
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -314,6 +316,29 @@ TEST(TableWriterTest, CsvOutput) {
 TEST(TableWriterTest, NumFormatsPrecision) {
   EXPECT_EQ(TableWriter::Num(1.23456, 2), "1.23");
   EXPECT_EQ(TableWriter::Num(2.0, 0), "2");
+}
+
+TEST(TableWriterTest, JsonOutputTypesCells) {
+  TableWriter t({"name", "v"});
+  t.AddRow({"x", "1.5"});
+  t.AddRow({"say \"hi\"", "-2"});
+  std::ostringstream os;
+  t.PrintJson(os);
+  EXPECT_EQ(os.str(),
+            "{\"headers\": [\"name\", \"v\"], "
+            "\"rows\": [[\"x\", 1.5], [\"say \\\"hi\\\"\", -2]]}");
+}
+
+TEST(TableWriterTest, JsonQuotesNonFiniteNumbers) {
+  // JSON has no NaN/Inf literals; %.*f renders them as "nan"/"inf", which
+  // must stay strings or the report is unparseable.
+  TableWriter t({"v"});
+  t.AddRow({TableWriter::Num(std::nan(""))});
+  t.AddRow({TableWriter::Num(std::numeric_limits<double>::infinity())});
+  std::ostringstream os;
+  t.PrintJson(os);
+  EXPECT_EQ(os.str(),
+            "{\"headers\": [\"v\"], \"rows\": [[\"nan\"], [\"inf\"]]}");
 }
 
 }  // namespace
