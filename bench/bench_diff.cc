@@ -1,0 +1,141 @@
+// CI bench-regression gate: compares the tracked counters of two
+// BENCH_<name>.json reports (see bench::JsonReport) and fails when the
+// current run regressed past the allowed slowdown.
+//
+//   bench_diff <baseline.json> <current.json> [--max-slowdown 0.15]
+//
+// Tracked counters are the top-level scalar metrics whose key starts with
+// "counter_" — the convention benches use (via JsonReport::Metric) for
+// deterministic, lower-is-better work measures (pairs considered, bucket
+// pairs, ...). Counters are preferred over wall times because they are
+// noise-free across CI hosts; a counter that grew >15% means the algorithm
+// genuinely does more work, not that the machine was busy.
+//
+// Exit codes: 0 = within budget, 1 = regression, 2 = usage/io error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Counter {
+  std::string key;
+  double value;
+};
+
+/// Extracts `"counter_<...>": <number>` entries from our generated report
+/// format (flat scan; table cells never hold counter_ keys).
+std::vector<Counter> ParseCounters(const std::string& json) {
+  std::vector<Counter> out;
+  const std::string marker = "\"counter_";
+  size_t pos = 0;
+  while ((pos = json.find(marker, pos)) != std::string::npos) {
+    const size_t key_start = pos + 1;  // Past the opening quote.
+    const size_t key_end = json.find('"', key_start);
+    if (key_end == std::string::npos) break;
+    pos = key_end + 1;
+    size_t cursor = pos;
+    while (cursor < json.size() &&
+           (json[cursor] == ':' || json[cursor] == ' ')) {
+      ++cursor;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(json.c_str() + cursor, &end);
+    if (end == json.c_str() + cursor) continue;  // Not a scalar; skip.
+    out.push_back({json.substr(key_start, key_end - key_start), value});
+  }
+  return out;
+}
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+const Counter* Find(const std::vector<Counter>& counters,
+                    const std::string& key) {
+  for (const Counter& c : counters) {
+    if (c.key == key) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double max_slowdown = 0.15;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--max-slowdown") && i + 1 < argc) {
+      max_slowdown = std::atof(argv[++i]);
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline.json> <current.json> "
+                 "[--max-slowdown 0.15]\n");
+    return 2;
+  }
+
+  std::string baseline_json, current_json;
+  if (!ReadFile(files[0], &baseline_json)) {
+    std::fprintf(stderr, "cannot read baseline %s\n", files[0]);
+    return 2;
+  }
+  if (!ReadFile(files[1], &current_json)) {
+    std::fprintf(stderr, "cannot read current %s\n", files[1]);
+    return 2;
+  }
+
+  const std::vector<Counter> baseline = ParseCounters(baseline_json);
+  const std::vector<Counter> current = ParseCounters(current_json);
+  if (baseline.empty()) {
+    std::printf("bench_diff: no tracked counters in %s; nothing to gate\n",
+                files[0]);
+    return 0;
+  }
+
+  int regressions = 0;
+  for (const Counter& base : baseline) {
+    const Counter* now = Find(current, base.key);
+    if (now == nullptr) {
+      // A disappeared counter silently disables its gate forever (the
+      // baseline is refreshed after this run) — treat it as a failure so
+      // renames must update the baseline deliberately.
+      std::fprintf(stderr, "FAIL %s: missing from current report\n",
+                   base.key.c_str());
+      ++regressions;
+      continue;
+    }
+    const double budget = base.value * (1.0 + max_slowdown) + 1e-9;
+    const bool failed = now->value > budget;
+    char delta[32];
+    if (base.value == 0.0) {
+      std::snprintf(delta, sizeof(delta), "was 0");
+    } else {
+      std::snprintf(delta, sizeof(delta), "%+.1f%%",
+                    (now->value - base.value) / base.value * 100.0);
+    }
+    std::printf("%s %s: %.6g -> %.6g (%s)\n", failed ? "FAIL" : "ok  ",
+                base.key.c_str(), base.value, now->value, delta);
+    if (failed) ++regressions;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "bench_diff: %d counter(s) regressed more than %.0f%%\n",
+                 regressions, max_slowdown * 100.0);
+    return 1;
+  }
+  return 0;
+}

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # CI gate: configure + build (warnings as errors) + tier-1 tests +
-# header self-containment + format check + bench smoke runs, then an
-# AddressSanitizer build re-running the tier-1 suite. Run from anywhere.
-# Set CEM_CI_SKIP_ASAN=1 to skip the sanitizer stage.
+# header self-containment + format check + bench smoke runs + a bench
+# regression gate (tracked counters diffed against the previous run's
+# BENCH_*.json reports), then an AddressSanitizer build re-running the
+# tier-1 suite. Run from anywhere.
+# Set CEM_CI_SKIP_ASAN=1 to skip the sanitizer stage; BENCH_BASELINE_DIR
+# overrides where the regression baseline reports live.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -26,7 +29,33 @@ echo "== ctest -L tier1"
 ctest --test-dir "${BUILD_DIR}" -L tier1 -j "${JOBS}" --output-on-failure
 
 echo "== ctest -L bench_smoke"
-ctest --test-dir "${BUILD_DIR}" -L bench_smoke -j "${JOBS}" --output-on-failure
+# ablation_blocking is excluded here: the regression gate below runs the
+# same binary at the same scale (with JSON on), so one run covers both.
+ctest --test-dir "${BUILD_DIR}" -L bench_smoke -E bench_smoke_ablation_blocking \
+  -j "${JOBS}" --output-on-failure
+
+echo "== bench regression gate (tracked counters, >15% slowdown fails)"
+BENCH_JSON_DIR="${BUILD_DIR}/bench-json"
+BENCH_BASELINE_DIR="${BENCH_BASELINE_DIR:-${REPO_ROOT}/.bench-baseline}"
+rm -rf "${BENCH_JSON_DIR}"
+mkdir -p "${BENCH_JSON_DIR}"
+CEM_BENCH_SCALE=0.05 CEM_BENCH_JSON_DIR="${BENCH_JSON_DIR}" \
+  "${BUILD_DIR}/ablation_blocking" > /dev/null
+if [[ -d "${BENCH_BASELINE_DIR}" ]]; then
+  for report in "${BENCH_JSON_DIR}"/BENCH_*.json; do
+    base="${BENCH_BASELINE_DIR}/$(basename "${report}")"
+    if [[ -f "${base}" ]]; then
+      echo "-- $(basename "${report}")"
+      "${BUILD_DIR}/bench_diff" "${base}" "${report}" --max-slowdown 0.15
+    else
+      echo "-- $(basename "${report}"): no baseline yet"
+    fi
+  done
+else
+  echo "no baseline at ${BENCH_BASELINE_DIR}; this run records the first one"
+fi
+mkdir -p "${BENCH_BASELINE_DIR}"
+cp "${BENCH_JSON_DIR}"/BENCH_*.json "${BENCH_BASELINE_DIR}/"
 
 if [[ "${CEM_CI_SKIP_ASAN:-0}" != "1" ]]; then
   echo "== ASAN configure (${ASAN_BUILD_DIR})"

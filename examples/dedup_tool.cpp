@@ -4,7 +4,7 @@
 //   dedup_tool [--input corpus.tsv] [--output matches.tsv]
 //              [--matcher mln|rules] [--scheme nomp|smp|mmp]
 //              [--machines N] [--generate hepth|dblp] [--scale S]
-//              [--blocking canopy|lsh]
+//              [--blocking canopy|lsh] [--threads N]
 //
 // Reads a TSV corpus (see data/tsv_io.h; --generate synthesises one
 // instead), builds candidate pairs and a total cover, runs the chosen
@@ -15,6 +15,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "blocking/lsh_cover.h"
@@ -42,6 +43,9 @@ struct Args {
   std::string blocking = core::BlockingStrategyName(eval::BenchBlocking());
   double scale = 0.5;
   uint32_t machines = 1;
+  /// Worker threads of the blocking/matching pipeline; 0 = the process
+  /// default (CEM_THREADS, or hardware concurrency).
+  uint32_t threads = 0;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -85,6 +89,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--machines");
       if (!v) return false;
       args->machines = static_cast<uint32_t>(std::atoi(v));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      const char* v = next("--threads");
+      if (!v) return false;
+      const int parsed = std::atoi(v);  // <= 0 means "process default".
+      args->threads = parsed > 0 ? static_cast<uint32_t>(parsed) : 0;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return false;
@@ -99,6 +108,16 @@ int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return 2;
 
+  // --- execution context: --threads gets a dedicated pool, otherwise the
+  // process-wide shared one (CEM_THREADS). Flows through candidate
+  // generation, cover construction and the grid run.
+  std::optional<ExecutionContext> owned_context;
+  if (args.threads > 0) owned_context.emplace(args.threads);
+  const ExecutionContext& ctx =
+      owned_context ? *owned_context : ExecutionContext::Default();
+  std::printf("execution: %u worker threads, %u LSH shards\n",
+              ctx.num_threads(), ctx.num_shards());
+
   // --- load or generate the corpus.
   std::unique_ptr<data::Dataset> dataset;
   if (!args.input.empty()) {
@@ -109,12 +128,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     dataset = std::move(*loaded);
-    dataset->BuildCandidatePairs();
+    dataset->BuildCandidatePairs({}, ctx);
   } else {
     const data::BibConfig config = args.generate == "hepth"
                                        ? data::BibConfig::HepthLike(args.scale)
                                        : data::BibConfig::DblpLike(args.scale);
-    dataset = data::GenerateBibDataset(config);
+    dataset = data::GenerateBibDataset(config, {}, ctx);
     std::printf("generated %s-like corpus at scale %.2f\n",
                 args.generate.c_str(), args.scale);
   }
@@ -129,7 +148,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const core::Cover cover =
-      blocking::MakeCoverBuilder(*strategy)->Build(*dataset);
+      blocking::MakeCoverBuilder(*strategy)->Build(*dataset, ctx);
   std::printf("cover (%s blocking): %s\n", args.blocking.c_str(),
               cover.Summary(*dataset).c_str());
 
@@ -150,6 +169,7 @@ int main(int argc, char** argv) {
   if (args.machines > 1) {
     core::GridOptions options;
     options.num_machines = args.machines;
+    options.context = &ctx;  // Reuse the blocking front-end's pool.
     options.scheme = args.scheme == "nomp"  ? core::MpScheme::kNoMp
                      : args.scheme == "smp" ? core::MpScheme::kSmp
                                             : core::MpScheme::kMmp;

@@ -1,8 +1,17 @@
 // Parallel execution (Section 6.3): run the framework round-parallel on a
 // simulated grid and show how the simulated makespan falls as machines are
 // added — and that the result never changes (consistency).
+//
+//   parallel_grid [--threads N]
+//
+// --threads sets the real worker threads of both the blocking front-end
+// (signatures, sharded LSH insertion, cover assembly) and the grid rounds;
+// 0/unset = the process default (CEM_THREADS, or hardware concurrency).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
 
 #include "blocking/lsh_cover.h"
 #include "core/grid_executor.h"
@@ -10,16 +19,34 @@
 #include "eval/experiment.h"
 #include "mln/mln_matcher.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cem;
 
-  auto dataset = data::GenerateBibDataset(data::BibConfig::DblpLike(1.0));
+  uint32_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      const int parsed = std::atoi(argv[++i]);  // <= 0 = process default.
+      threads = parsed > 0 ? static_cast<uint32_t>(parsed) : 0;
+    } else {
+      std::fprintf(stderr, "usage: parallel_grid [--threads N]\n");
+      return 2;
+    }
+  }
+  std::optional<ExecutionContext> owned_context;
+  if (threads > 0) owned_context.emplace(threads);
+  const ExecutionContext& ctx =
+      owned_context ? *owned_context : ExecutionContext::Default();
+
+  auto dataset =
+      data::GenerateBibDataset(data::BibConfig::DblpLike(1.0), {}, ctx);
   // Blocking strategy is pluggable; CEM_BLOCKING=lsh switches to MinHash/LSH.
   const auto builder = blocking::MakeCoverBuilder(eval::BenchBlocking());
-  const core::Cover cover = builder->Build(*dataset);
-  std::printf("Corpus: %zu refs, %zu neighborhoods (%s blocking)\n\n",
-              dataset->author_refs().size(), cover.size(),
-              builder->name().c_str());
+  const core::Cover cover = builder->Build(*dataset, ctx);
+  std::printf(
+      "Corpus: %zu refs, %zu neighborhoods (%s blocking, %u worker "
+      "threads)\n\n",
+      dataset->author_refs().size(), cover.size(), builder->name().c_str(),
+      ctx.num_threads());
 
   mln::MlnMatcher inner(*dataset);
   // The cost model emulates the paper's expensive-inference regime so that
@@ -33,6 +60,7 @@ int main() {
     core::GridOptions options;
     options.scheme = core::MpScheme::kSmp;
     options.num_machines = machines;
+    options.context = &ctx;  // Reuse the blocking front-end's pool.
     options.per_round_overhead_seconds = 0.02;
     const core::GridResult result = core::RunGrid(matcher, cover, options);
     if (machines == 1) baseline = result.simulated_seconds;

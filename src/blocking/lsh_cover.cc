@@ -3,8 +3,8 @@
 #include <vector>
 
 #include "blocking/blocking_tokens.h"
+#include "core/cover_assembly.h"
 #include "util/logging.h"
-#include "util/random.h"
 
 namespace cem::blocking {
 
@@ -13,57 +13,60 @@ core::Cover BuildLshCover(const data::Dataset& dataset,
   CEM_CHECK(options.tight >= options.loose)
       << "tight threshold must be at least the loose threshold";
   const std::vector<data::EntityId>& refs = dataset.author_refs();
+  const ExecutionContext& ctx =
+      options.context != nullptr ? *options.context
+                                 : ExecutionContext::Default();
 
-  // Signatures + banded index over author refs (dense doc ids = position).
+  // Signatures + sharded banded index over author refs (dense doc ids =
+  // position), all phases parallel on ctx.
+  std::vector<std::vector<std::string>> token_sets(refs.size());
+  ParallelFor(ctx.pool(), refs.size(), [&](size_t i) {
+    token_sets[i] = AuthorBlockingTokens(dataset.entity(refs[i]));
+  });
   const MinHasher hasher(options.minhash);
-  std::vector<std::vector<uint64_t>> signatures;
-  signatures.reserve(refs.size());
-  LshIndex index(options.lsh, hasher.num_hashes());
-  for (size_t i = 0; i < refs.size(); ++i) {
-    signatures.push_back(
-        hasher.Signature(AuthorBlockingTokens(dataset.entity(refs[i]))));
-    index.AddDocument(static_cast<uint32_t>(i), signatures.back());
-  }
+  const std::vector<std::vector<uint64_t>> signatures =
+      hasher.SignatureBatch(token_sets, ctx);
+  LshIndex index(options.lsh, hasher.num_hashes(), ctx.num_shards());
+  index.AddDocuments(signatures, ctx);
 
   // Canopy-style assembly over LSH candidates: random seed order; banding
-  // plays the loose filter, estimated Jaccard plays the tight rule.
-  Rng rng(options.seed);
-  std::vector<uint32_t> seed_order(refs.size());
-  for (uint32_t i = 0; i < refs.size(); ++i) seed_order[i] = i;
-  rng.Shuffle(seed_order);
-
-  std::vector<bool> seeded_out(refs.size(), false);
-  core::Cover cover;
-  size_t pairs_considered = 0;
-  for (uint32_t seed : seed_order) {
-    if (seeded_out[seed]) continue;
-    seeded_out[seed] = true;
-    std::vector<data::EntityId> members{refs[seed]};
-    const std::vector<uint32_t> candidates = index.Candidates(seed);
-    pairs_considered += candidates.size();
+  // plays the loose filter, estimated Jaccard plays the tight rule. The
+  // candidate expansions run in parallel batches; the seed loop replays
+  // serially, so the cover matches the single-threaded algorithm exactly.
+  const auto candidate_fn = [&](uint32_t doc, size_t* num_scored) {
+    const std::vector<uint32_t> candidates = index.Candidates(doc);
+    *num_scored = candidates.size();
+    std::vector<core::AssemblyCandidate> out;
     for (uint32_t other : candidates) {
       const double estimate =
-          MinHasher::EstimateJaccard(signatures[seed], signatures[other]);
-      if (estimate < options.loose) continue;
-      members.push_back(refs[other]);
-      if (estimate >= options.tight) seeded_out[other] = true;
+          MinHasher::EstimateJaccard(signatures[doc], signatures[other]);
+      if (estimate >= options.loose) out.push_back({other, estimate});
     }
-    cover.Add(std::move(members));
-  }
+    return out;
+  };
+  size_t pairs_considered = 0;
+  core::Cover cover =
+      core::AssembleCanopies(refs, options.seed.value_or(ctx.seed()),
+                             options.tight, candidate_fn, ctx,
+                             &pairs_considered);
   if (options.stats != nullptr) {
     options.stats->pairs_considered = pairs_considered;
   }
 
   if (options.ensure_pair_coverage) core::PatchPairCoverage(dataset, cover);
-  if (options.expand_boundary) core::ExpandCoauthorBoundary(dataset, cover);
+  if (options.expand_boundary) {
+    core::ExpandCoauthorBoundary(dataset, cover, ctx);
+  }
 
   return cover;
 }
 
 core::Cover LshCoverBuilder::Build(const data::Dataset& dataset,
+                                   const ExecutionContext& ctx,
                                    core::BlockingStats* stats) const {
   LshCoverOptions options = options_;
   options.stats = stats;
+  options.context = &ctx;
   return BuildLshCover(dataset, options);
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "blocking/lsh_index.h"
@@ -36,10 +37,17 @@ struct LshCoverOptions {
   /// Patch any candidate pair the banding split into a shared neighborhood
   /// (total w.r.t. Similar).
   bool ensure_pair_coverage = true;
-  /// Seed for the neighborhood seed-selection order.
-  uint64_t seed = 7;
+  /// Seed for the neighborhood seed-selection order; unset = the execution
+  /// context's seed (ExecutionContext::kDefaultSeed by default, so
+  /// defaults are stable across contexts).
+  std::optional<uint64_t> seed;
   /// Optional out-param: filled with candidate-generation work counters.
   core::BlockingStats* stats = nullptr;
+  /// Execution context of the parallel phases (MinHash signatures, sharded
+  /// index insertion, candidate expansion, boundary expansion) and source
+  /// of the bucket shard count; null = ExecutionContext::Default(). The
+  /// cover is bit-identical for any thread and shard count.
+  const ExecutionContext* context = nullptr;
 };
 
 /// Builds a cover of the dataset's author references from MinHash + banded
@@ -55,7 +63,8 @@ class LshCoverBuilder : public core::CoverBuilder {
   explicit LshCoverBuilder(LshCoverOptions options = {})
       : options_(options) {}
 
-  core::Cover Build(const data::Dataset& dataset,
+  using core::CoverBuilder::Build;
+  core::Cover Build(const data::Dataset& dataset, const ExecutionContext& ctx,
                     core::BlockingStats* stats = nullptr) const override;
   std::string name() const override { return "lsh"; }
 

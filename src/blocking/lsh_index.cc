@@ -18,11 +18,28 @@ uint64_t Mix(uint64_t x) {
 
 }  // namespace
 
-LshIndex::LshIndex(const LshParams& params, uint32_t num_hashes)
-    : params_(params), num_hashes_(num_hashes) {
+LshIndex::LshIndex(const LshParams& params, uint32_t num_hashes,
+                   uint32_t num_shards)
+    : params_(params),
+      num_hashes_(num_hashes),
+      shards_(std::max(num_shards, 1u)) {
   CEM_CHECK(params.bands > 0 && params.rows > 0);
   CEM_CHECK(params.bands * params.rows <= num_hashes)
       << "bands*rows must fit in the signature length";
+}
+
+std::vector<uint64_t> LshIndex::BandKeys(
+    const std::vector<uint64_t>& signature) const {
+  std::vector<uint64_t> keys;
+  keys.reserve(params_.bands);
+  for (uint32_t band = 0; band < params_.bands; ++band) {
+    uint64_t key = Mix(band + 1);
+    for (uint32_t row = 0; row < params_.rows; ++row) {
+      key = Mix(key ^ signature[band * params_.rows + row]);
+    }
+    keys.push_back(key);
+  }
+  return keys;
 }
 
 void LshIndex::AddDocument(uint32_t doc_id,
@@ -31,24 +48,55 @@ void LshIndex::AddDocument(uint32_t doc_id,
       << "signature length mismatch with the index configuration";
   if (doc_id >= doc_band_keys_.size()) doc_band_keys_.resize(doc_id + 1);
   CEM_CHECK(doc_band_keys_[doc_id].empty()) << "document added twice";
-  std::vector<uint64_t>& keys = doc_band_keys_[doc_id];
-  keys.reserve(params_.bands);
-  for (uint32_t band = 0; band < params_.bands; ++band) {
-    uint64_t key = Mix(band + 1);
-    for (uint32_t row = 0; row < params_.rows; ++row) {
-      key = Mix(key ^ signature[band * params_.rows + row]);
-    }
-    keys.push_back(key);
-    buckets_[key].push_back(doc_id);
+  doc_band_keys_[doc_id] = BandKeys(signature);
+  for (uint64_t key : doc_band_keys_[doc_id]) {
+    shards_[ShardOf(key)].buckets[key].push_back(doc_id);
   }
+}
+
+void LshIndex::AddDocuments(
+    const std::vector<std::vector<uint64_t>>& signatures,
+    const ExecutionContext& ctx) {
+  CEM_CHECK(doc_band_keys_.empty()) << "AddDocuments on a non-empty index";
+  doc_band_keys_.resize(signatures.size());
+  ParallelFor(ctx.pool(), signatures.size(), [&](size_t doc) {
+    CEM_CHECK(signatures[doc].size() == num_hashes_)
+        << "signature length mismatch with the index configuration";
+    doc_band_keys_[doc] = BandKeys(signatures[doc]);
+  });
+  // Partition the (key, doc) stream by owning shard — one cheap linear
+  // append pass, in doc order, so each shard's list replays serial
+  // AddDocument order exactly.
+  struct Entry {
+    uint64_t key;
+    uint32_t doc;
+  };
+  std::vector<std::vector<Entry>> per_shard(shards_.size());
+  for (auto& list : per_shard) {
+    list.reserve(doc_band_keys_.size() * params_.bands / shards_.size() + 1);
+  }
+  for (uint32_t doc = 0; doc < doc_band_keys_.size(); ++doc) {
+    for (uint64_t key : doc_band_keys_[doc]) {
+      per_shard[ShardOf(key)].push_back({key, doc});
+    }
+  }
+  // Parallel insertion: each worker owns whole shards, so the (expensive)
+  // hash-map building needs no synchronisation.
+  ParallelFor(ctx.pool(), shards_.size(), [&](size_t s) {
+    Shard& shard = shards_[s];
+    for (const Entry& entry : per_shard[s]) {
+      shard.buckets[entry.key].push_back(entry.doc);
+    }
+  });
 }
 
 std::vector<uint32_t> LshIndex::Candidates(uint32_t doc_id) const {
   CEM_CHECK(doc_id < doc_band_keys_.size());
   std::vector<uint32_t> out;
   for (uint64_t key : doc_band_keys_[doc_id]) {
-    const auto it = buckets_.find(key);
-    CEM_CHECK(it != buckets_.end());
+    const Shard& shard = shards_[ShardOf(key)];
+    const auto it = shard.buckets.find(key);
+    CEM_CHECK(it != shard.buckets.end());
     for (uint32_t other : it->second) {
       if (other != doc_id) out.push_back(other);
     }
@@ -58,10 +106,18 @@ std::vector<uint32_t> LshIndex::Candidates(uint32_t doc_id) const {
   return out;
 }
 
+size_t LshIndex::num_buckets() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.buckets.size();
+  return total;
+}
+
 size_t LshIndex::TotalBucketPairs() const {
   size_t total = 0;
-  for (const auto& [key, members] : buckets_) {
-    total += members.size() * (members.size() - 1) / 2;
+  for (const Shard& shard : shards_) {
+    for (const auto& [key, members] : shard.buckets) {
+      total += members.size() * (members.size() - 1) / 2;
+    }
   }
   return total;
 }

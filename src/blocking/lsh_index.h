@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/execution_context.h"
+
 namespace cem::blocking {
 
 /// Banding parameters: a signature of >= bands*rows components is split
@@ -22,23 +24,41 @@ struct LshParams {
 /// generation. Documents are hashed into one bucket per band; candidate
 /// pairs are pairs sharing a bucket. Deterministic: bucket keys depend only
 /// on the signature components and the band index.
+///
+/// Buckets are partitioned into `num_shards` shards by bucket key, so bulk
+/// insertion (AddDocuments) parallelises with each shard owned by exactly
+/// one worker — no locks — and concurrent read-only candidate lookups are
+/// always safe. The shard count never changes what the index contains:
+/// bucket membership, Candidates() and the work counters are bit-identical
+/// for any shard count.
 class LshIndex {
  public:
   /// `num_hashes` is the signature length documents will be added with;
   /// bands*rows must fit inside it (excess components are ignored).
-  LshIndex(const LshParams& params, uint32_t num_hashes);
+  /// `num_shards` partitions the bucket space (clamped to at least 1).
+  LshIndex(const LshParams& params, uint32_t num_hashes,
+           uint32_t num_shards = 1);
 
   /// Adds a document; `doc_id` values should be dense (0..n-1) and each id
   /// added once. The signature must have `num_hashes` components.
   void AddDocument(uint32_t doc_id, const std::vector<uint64_t>& signature);
 
+  /// Bulk-adds documents 0..signatures.size()-1 in parallel on `ctx`:
+  /// band keys are computed per document, then each shard inserts the keys
+  /// it owns in document order. The index must be empty. Equivalent to
+  /// calling AddDocument for each document in increasing id order.
+  void AddDocuments(const std::vector<std::vector<uint64_t>>& signatures,
+                    const ExecutionContext& ctx);
+
   size_t num_documents() const { return doc_band_keys_.size(); }
+  size_t num_shards() const { return shards_.size(); }
 
   /// Number of distinct non-empty buckets across all bands.
-  size_t num_buckets() const { return buckets_.size(); }
+  size_t num_buckets() const;
 
   /// Documents sharing at least one band bucket with `doc_id`, sorted by
-  /// doc id, deduplicated, excluding `doc_id` itself.
+  /// doc id, deduplicated, excluding `doc_id` itself. Thread-safe against
+  /// concurrent Candidates() calls (read-only).
   std::vector<uint32_t> Candidates(uint32_t doc_id) const;
 
   /// Sum over buckets of C(size, 2): the candidate pairs the banding pass
@@ -54,10 +74,21 @@ class LshIndex {
                                      uint32_t rows);
 
  private:
+  /// Shard owning bucket `key`; keys are already avalanche-mixed, so the
+  /// low bits partition uniformly.
+  size_t ShardOf(uint64_t key) const { return key % shards_.size(); }
+
+  /// The `bands` bucket keys of one signature.
+  std::vector<uint64_t> BandKeys(const std::vector<uint64_t>& signature) const;
+
+  struct Shard {
+    /// Bucket key -> member doc ids, in insertion (= doc id) order.
+    std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  };
+
   LshParams params_;
   uint32_t num_hashes_;
-  /// Bucket key -> member doc ids, in insertion (= doc id) order.
-  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets_;
+  std::vector<Shard> shards_;
   /// Per document: its `bands` bucket keys, for candidate lookup.
   std::vector<std::vector<uint64_t>> doc_band_keys_;
 };

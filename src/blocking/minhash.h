@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/execution_context.h"
+
 namespace cem::blocking {
 
 /// Options of the MinHash signature scheme.
@@ -39,6 +41,13 @@ class MinHasher {
   /// — MinHash has set semantics). Callers pass the shared lower-cased
   /// blocking tokens so signatures agree with the token-overlap index.
   std::vector<uint64_t> Signature(const std::vector<std::string>& tokens) const;
+
+  /// Signatures of all token sets, computed in parallel on `ctx`; element i
+  /// equals Signature(token_sets[i]) (documents are independent, so the
+  /// result does not depend on the thread count).
+  std::vector<std::vector<uint64_t>> SignatureBatch(
+      const std::vector<std::vector<std::string>>& token_sets,
+      const ExecutionContext& ctx) const;
 
   /// Unbiased Jaccard estimate: the fraction of agreeing components.
   /// Signatures must come from the same MinHasher configuration.

@@ -3,9 +3,9 @@
 #include <vector>
 
 #include "blocking/blocking_tokens.h"
+#include "core/cover_assembly.h"
 #include "text/token_index.h"
 #include "util/logging.h"
-#include "util/random.h"
 
 namespace cem::core {
 
@@ -14,8 +14,13 @@ Cover BuildCanopyCover(const data::Dataset& dataset,
   CEM_CHECK(options.tight >= options.loose)
       << "tight threshold must be at least the loose threshold";
   const std::vector<data::EntityId>& refs = dataset.author_refs();
+  const ExecutionContext& ctx =
+      options.context != nullptr ? *options.context
+                                 : ExecutionContext::Default();
 
-  // Cheap-distance index over author refs (dense doc ids = position).
+  // Cheap-distance index over author refs (dense doc ids = position). Built
+  // serially: postings lists share one token map, and index construction is
+  // a small fraction of the scan work parallelised below.
   text::TokenIndex index;
   for (size_t i = 0; i < refs.size(); ++i) {
     index.AddDocument(static_cast<uint32_t>(i),
@@ -23,27 +28,20 @@ Cover BuildCanopyCover(const data::Dataset& dataset,
   }
 
   // Canopies: random seed order; loose joins, tight removes from seed pool.
-  Rng rng(options.seed);
-  std::vector<uint32_t> seed_order(refs.size());
-  for (uint32_t i = 0; i < refs.size(); ++i) seed_order[i] = i;
-  rng.Shuffle(seed_order);
-
-  std::vector<bool> seeded_out(refs.size(), false);
-  Cover cover;
-  size_t pairs_scored = 0;
-  for (uint32_t seed : seed_order) {
-    if (seeded_out[seed]) continue;
-    seeded_out[seed] = true;
-    std::vector<data::EntityId> members{refs[seed]};
-    size_t scored = 0;
+  // The postings scans run in parallel batches; the seed loop replays
+  // serially, so the cover matches the single-threaded algorithm exactly.
+  const auto candidate_fn = [&](uint32_t doc, size_t* num_scored) {
+    std::vector<AssemblyCandidate> out;
     for (const auto& neighbor :
-         index.Candidates(seed, options.loose, &scored)) {
-      members.push_back(refs[neighbor.doc_id]);
-      if (neighbor.score >= options.tight) seeded_out[neighbor.doc_id] = true;
+         index.Candidates(doc, options.loose, num_scored)) {
+      out.push_back({neighbor.doc_id, neighbor.score});
     }
-    pairs_scored += scored;
-    cover.Add(std::move(members));
-  }
+    return out;
+  };
+  size_t pairs_scored = 0;
+  Cover cover =
+      AssembleCanopies(refs, options.seed.value_or(ctx.seed()), options.tight,
+                       candidate_fn, ctx, &pairs_scored);
   if (options.stats != nullptr) options.stats->pairs_considered = pairs_scored;
 
   // Patch: make the cover total over Similar — every candidate pair inside
@@ -51,7 +49,7 @@ Cover BuildCanopyCover(const data::Dataset& dataset,
   if (options.ensure_pair_coverage) PatchPairCoverage(dataset, cover);
 
   // Boundary expansion: make the cover total w.r.t. Coauthor.
-  if (options.expand_boundary) ExpandCoauthorBoundary(dataset, cover);
+  if (options.expand_boundary) ExpandCoauthorBoundary(dataset, cover, ctx);
 
   return cover;
 }

@@ -2,6 +2,7 @@
 #define CEM_CORE_CANOPY_H_
 
 #include <cstdint>
+#include <optional>
 
 #include "core/cover.h"
 #include "data/dataset.h"
@@ -25,10 +26,16 @@ struct CanopyOptions {
   /// Guarantee every candidate pair is inside some neighborhood (total
   /// w.r.t. Similar), patching any pair the canopy pass split.
   bool ensure_pair_coverage = true;
-  /// Seed for the canopy seed-selection order.
-  uint64_t seed = 7;
+  /// Seed for the canopy seed-selection order; unset = the execution
+  /// context's seed (ExecutionContext::kDefaultSeed by default, so
+  /// defaults are stable across contexts).
+  std::optional<uint64_t> seed;
   /// Optional out-param: filled with candidate-generation work counters.
   BlockingStats* stats = nullptr;
+  /// Execution context of the parallel phases (postings scans, boundary
+  /// expansion); null = ExecutionContext::Default(). The cover is
+  /// bit-identical for any thread count.
+  const ExecutionContext* context = nullptr;
 };
 
 /// Builds a cover of the dataset's author references with the Canopies

@@ -140,14 +140,19 @@ void PatchPairCoverage(const data::Dataset& dataset, Cover& cover) {
   }
 }
 
-void ExpandCoauthorBoundary(const data::Dataset& dataset, Cover& cover) {
-  for (size_t i = 0; i < cover.size(); ++i) {
+void ExpandCoauthorBoundary(const data::Dataset& dataset, Cover& cover,
+                            const ExecutionContext& ctx) {
+  // Each iteration mutates only neighborhood i (AddEntityTo never resizes
+  // the neighborhood vector itself), so neighborhoods expand in parallel
+  // without synchronisation; AddEntityTo keeps members sorted/unique, so
+  // the unordered boundary iteration order does not affect the result.
+  ParallelFor(ctx.pool(), cover.size(), [&](size_t i) {
     std::unordered_set<data::EntityId> boundary;
     for (data::EntityId e : cover.neighborhood(i).entities) {
       for (data::EntityId c : dataset.Coauthors(e)) boundary.insert(c);
     }
     for (data::EntityId c : boundary) cover.AddEntityTo(i, c);
-  }
+  });
 }
 
 std::string Cover::Summary(const data::Dataset& dataset) const {

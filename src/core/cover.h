@@ -7,6 +7,7 @@
 
 #include "data/dataset.h"
 #include "data/entity.h"
+#include "util/execution_context.h"
 
 namespace cem::core {
 
@@ -88,8 +89,12 @@ void PatchPairCoverage(const data::Dataset& dataset, Cover& cover);
 /// Boundary expansion (Section 4): adds each member's coauthors to its
 /// neighborhoods, making `cover` total w.r.t. Coauthor (Definition 7). This
 /// is what brings dissimilar entities — and in general entities of other
-/// types — into a neighborhood.
-void ExpandCoauthorBoundary(const data::Dataset& dataset, Cover& cover);
+/// types — into a neighborhood. Neighborhoods are expanded in parallel on
+/// `ctx` (each worker owns whole neighborhoods, so the result is identical
+/// for any thread count).
+void ExpandCoauthorBoundary(
+    const data::Dataset& dataset, Cover& cover,
+    const ExecutionContext& ctx = ExecutionContext::Default());
 
 }  // namespace cem::core
 

@@ -1,0 +1,56 @@
+#ifndef CEM_CORE_COVER_ASSEMBLY_H_
+#define CEM_CORE_COVER_ASSEMBLY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/cover.h"
+#include "data/entity.h"
+#include "util/execution_context.h"
+
+namespace cem::core {
+
+/// One scored candidate of a canopy-style assembly pass: a document id and
+/// its cheap-similarity score (exact token overlap for canopies, estimated
+/// Jaccard for LSH).
+struct AssemblyCandidate {
+  uint32_t doc_id;
+  double score;
+};
+
+/// Produces the candidates of one document that pass the builder's loose
+/// threshold, sorted by doc id. `num_scored` receives the number of
+/// documents the scan scored/bucketed (the blocking work done, before the
+/// loose filter). Must be thread-safe and deterministic per document — it
+/// is called concurrently against read-only index structures.
+using AssemblyCandidateFn = std::function<std::vector<AssemblyCandidate>(
+    uint32_t doc, size_t* num_scored)>;
+
+/// The canopy seed-selection loop shared by every cover builder [McCallum
+/// et al., KDD 2000]: visit the documents 0..refs.size()-1 in a seeded
+/// random order; each not-yet-seeded-out document becomes a neighborhood
+/// containing its loose-passing candidates, and candidates at or above
+/// `tight` leave the seed pool. Document i contributes neighborhood
+/// members as refs[i].
+///
+/// Parallel *and* bit-identical to the serial loop for any thread count:
+/// the expensive candidate scans run speculatively in fixed-size batches on
+/// `ctx`'s pool, while seed selection itself replays serially over the
+/// precomputed scan results. A document seeded out by an earlier member of
+/// its own batch wastes its speculative scan (bounded by the batch size)
+/// but never changes the output; the batch size is a constant so the
+/// reported work counter is thread-count-independent too.
+///
+/// `pairs_considered`, when non-null, receives the total candidate scan
+/// work (sum of `num_scored` over every scanned document, wasted
+/// speculative scans included).
+Cover AssembleCanopies(const std::vector<data::EntityId>& refs, uint64_t seed,
+                       double tight, const AssemblyCandidateFn& candidate_fn,
+                       const ExecutionContext& ctx,
+                       size_t* pairs_considered = nullptr);
+
+}  // namespace cem::core
+
+#endif  // CEM_CORE_COVER_ASSEMBLY_H_

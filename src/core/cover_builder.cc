@@ -21,10 +21,17 @@ std::optional<BlockingStrategy> ParseBlockingStrategy(std::string_view name) {
   return std::nullopt;
 }
 
+Cover CoverBuilder::Build(const data::Dataset& dataset,
+                          BlockingStats* stats) const {
+  return Build(dataset, ExecutionContext::Default(), stats);
+}
+
 Cover CanopyCoverBuilder::Build(const data::Dataset& dataset,
+                                const ExecutionContext& ctx,
                                 BlockingStats* stats) const {
   CanopyOptions options = options_;
   options.stats = stats;
+  options.context = &ctx;
   return BuildCanopyCover(dataset, options);
 }
 

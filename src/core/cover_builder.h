@@ -37,12 +37,19 @@ class CoverBuilder {
  public:
   virtual ~CoverBuilder() = default;
 
-  /// Builds a cover of `dataset`'s author references. Must be total w.r.t.
-  /// Similar and Coauthor unless the concrete options disable the patches
-  /// (ablations only). `stats`, when non-null, receives candidate-generation
-  /// work counters.
+  /// Builds a cover of `dataset`'s author references, running the parallel
+  /// phases (signatures, index insertion, candidate scans, boundary
+  /// expansion) on `ctx`. Must be total w.r.t. Similar and Coauthor unless
+  /// the concrete options disable the patches (ablations only), and
+  /// bit-identical for any thread/shard count. `stats`, when non-null,
+  /// receives candidate-generation work counters.
   virtual Cover Build(const data::Dataset& dataset,
+                      const ExecutionContext& ctx,
                       BlockingStats* stats = nullptr) const = 0;
+
+  /// Convenience: builds on the process-default context.
+  Cover Build(const data::Dataset& dataset,
+              BlockingStats* stats = nullptr) const;
 
   /// Human-readable strategy name for logs/tables.
   virtual std::string name() const = 0;
@@ -54,7 +61,8 @@ class CanopyCoverBuilder : public CoverBuilder {
   explicit CanopyCoverBuilder(CanopyOptions options = {})
       : options_(options) {}
 
-  Cover Build(const data::Dataset& dataset,
+  using CoverBuilder::Build;
+  Cover Build(const data::Dataset& dataset, const ExecutionContext& ctx,
               BlockingStats* stats = nullptr) const override;
   std::string name() const override { return "canopy"; }
 

@@ -1,11 +1,12 @@
 #include "core/grid_executor.h"
 
 #include <algorithm>
-#include <thread>
+#include <memory>
 #include <vector>
 
 #include "core/maximal_message.h"
 #include "core/neighbor_index.h"
+#include "util/execution_context.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -60,10 +61,17 @@ GridResult RunGrid(const Matcher& matcher, const Cover& cover,
   GridResult result;
   Rng rng(options.seed);
   NeighborIndex index(cover);
-  const uint32_t workers = options.num_worker_threads > 0
-                               ? options.num_worker_threads
-                               : std::max(1u, std::thread::hardware_concurrency());
-  ThreadPool pool(workers);
+  // 0 workers = the caller's context pool (one pool for the whole pipeline
+  // instead of one per RunGrid call); an explicit count gets a dedicated
+  // pool.
+  std::unique_ptr<ThreadPool> own_pool;
+  if (options.num_worker_threads > 0) {
+    own_pool = std::make_unique<ThreadPool>(options.num_worker_threads);
+  }
+  ThreadPool& pool = own_pool != nullptr ? *own_pool
+                     : options.context != nullptr
+                         ? options.context->pool()
+                         : ExecutionContext::Default().pool();
   const size_t max_rounds =
       options.max_rounds > 0 ? options.max_rounds : cover.size() + 8;
 

@@ -36,8 +36,15 @@ struct GridOptions {
   double per_round_overhead_seconds = 0.0;
   /// Seed for the random neighborhood -> machine assignment.
   uint64_t seed = 123;
-  /// Real worker threads executing the tasks (0 = hardware concurrency).
+  /// Real worker threads executing the tasks. 0 = run on `context`'s pool
+  /// (or the process-wide shared pool when that is null too, sized by
+  /// CEM_THREADS); otherwise a dedicated pool of this size is spun up for
+  /// the run.
   uint32_t num_worker_threads = 0;
+  /// Execution context whose pool runs the map tasks when
+  /// num_worker_threads is 0 — lets drivers reuse the one pool that
+  /// already ran the blocking front-end. Null = ExecutionContext::Default().
+  const ExecutionContext* context = nullptr;
   /// Safety cap on rounds (0 = number of neighborhoods + 8).
   size_t max_rounds = 0;
 };

@@ -115,7 +115,8 @@ RenderedName RenderNoisyName(const BibConfig& config, const std::string& first,
 }
 
 std::unique_ptr<Dataset> GenerateBibDataset(
-    const BibConfig& config, const CandidateOptions& candidate_options) {
+    const BibConfig& config, const CandidateOptions& candidate_options,
+    const ExecutionContext& ctx) {
   CEM_CHECK(config.num_authors > 0);
   CEM_CHECK(config.num_papers > 0);
   Rng rng(config.seed);
@@ -263,7 +264,7 @@ std::unique_ptr<Dataset> GenerateBibDataset(
   }
 
   dataset->Finalize();
-  dataset->BuildCandidatePairs(candidate_options);
+  dataset->BuildCandidatePairs(candidate_options, ctx);
   return dataset;
 }
 

@@ -83,9 +83,12 @@ RenderedName RenderNoisyName(const BibConfig& config, const std::string& first,
 /// Generates a labelled synthetic bibliography dataset: papers, author
 /// references (noisy names, ground truth = generating author id),
 /// Authored/Cites tuples and the derived Coauthor relation. The result is
-/// Finalize()d and candidate pairs are built with `candidate_options`.
+/// Finalize()d and candidate pairs are built with `candidate_options` on
+/// `ctx` (generation itself is serial — it is one seeded random stream —
+/// but candidate scoring parallelises).
 std::unique_ptr<Dataset> GenerateBibDataset(
-    const BibConfig& config, const CandidateOptions& candidate_options = {});
+    const BibConfig& config, const CandidateOptions& candidate_options = {},
+    const ExecutionContext& ctx = ExecutionContext::Default());
 
 }  // namespace cem::data
 

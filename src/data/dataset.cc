@@ -2,10 +2,12 @@
 
 #include <algorithm>
 
+#include "blocking/blocking_tokens.h"
+#include "blocking/lsh_index.h"
+#include "blocking/minhash.h"
 #include "text/similarity_level.h"
 #include "text/token_index.h"
 #include "util/logging.h"
-#include "util/string_util.h"
 
 namespace cem::data {
 
@@ -78,38 +80,72 @@ void Dataset::Finalize() {
   finalized_ = true;
 }
 
-void Dataset::BuildCandidatePairs(const CandidateOptions& options) {
+void Dataset::BuildCandidatePairs(const CandidateOptions& options,
+                                  const ExecutionContext& ctx) {
   CEM_CHECK(finalized_) << "BuildCandidatePairs before Finalize";
   CEM_CHECK(candidate_pairs_.empty()) << "candidate pairs already built";
+  const size_t n = author_refs_.size();
 
-  // Blocking pass: trigram inverted index over full author names. Documents
-  // are indexed densely by position within author_refs_.
+  // Blocking tokens per reference — the shared definition every blocking
+  // structure uses (see blocking/blocking_tokens.h), so candidate pairs,
+  // canopies and LSH signatures agree on what "nearby" means.
+  std::vector<std::vector<std::string>> tokens(n);
+  ParallelFor(ctx.pool(), n, [&](size_t i) {
+    tokens[i] = blocking::AuthorBlockingTokens(entities_[author_refs_[i]]);
+  });
+
+  // Blocking prefilter: per reference i, the doc ids > i worth scoring.
+  // The LSH structures are only constructed (and their knobs validated) on
+  // the use_lsh path.
+  std::function<std::vector<uint32_t>(uint32_t)> block_fn;
   text::TokenIndex index;
-  for (size_t i = 0; i < author_refs_.size(); ++i) {
-    const Entity& e = entities_[author_refs_[i]];
-    std::string name = ToLower(e.last_name);
-    std::vector<std::string> grams = CharNgrams(name, 3);
-    // Also index the first-name initial fused with the last name's head so
-    // abbreviated references ("J. Doe") block together with full ones.
-    if (!e.first_name.empty()) {
-      grams.push_back(std::string(1, std::tolower(e.first_name[0])) + "|" +
-                      name.substr(0, std::min<size_t>(2, name.size())));
+  std::optional<blocking::LshIndex> lsh;
+  if (options.use_lsh) {
+    // Sub-quadratic path: reuse the sharded banded index, parallel insert.
+    const blocking::MinHasher hasher({options.lsh_num_hashes});
+    lsh.emplace(blocking::LshParams{options.lsh_bands, options.lsh_rows},
+                hasher.num_hashes(), ctx.num_shards());
+    lsh->AddDocuments(hasher.SignatureBatch(tokens, ctx), ctx);
+    block_fn = [&lsh](uint32_t i) {
+      std::vector<uint32_t> out;
+      for (uint32_t other : lsh->Candidates(i)) {
+        if (other > i) out.push_back(other);
+      }
+      return out;
+    };
+  } else {
+    // Exact path: trigram inverted index, full postings scans.
+    for (size_t i = 0; i < n; ++i) {
+      index.AddDocument(static_cast<uint32_t>(i), tokens[i]);
     }
-    index.AddDocument(static_cast<uint32_t>(i), grams);
+    block_fn = [&](uint32_t i) {
+      std::vector<uint32_t> out;
+      for (const auto& cand : index.Candidates(i, options.min_ngram_overlap)) {
+        if (cand.doc_id > i) out.push_back(cand.doc_id);
+      }
+      return out;
+    };
   }
 
-  for (size_t i = 0; i < author_refs_.size(); ++i) {
+  // Score each reference's candidate block in parallel; per-reference
+  // result slots keep the merge order-independent, and the sort in
+  // FinalizeCandidatePairs makes the final index identical for any thread
+  // count either way.
+  std::vector<std::vector<CandidatePair>> found(n);
+  ParallelFor(ctx.pool(), n, [&](size_t i) {
     const Entity& a = entities_[author_refs_[i]];
-    for (const auto& cand :
-         index.Candidates(static_cast<uint32_t>(i), options.min_ngram_overlap)) {
-      if (cand.doc_id <= i) continue;  // Each unordered pair once.
-      const Entity& b = entities_[author_refs_[cand.doc_id]];
+    for (uint32_t other : block_fn(static_cast<uint32_t>(i))) {
+      const Entity& b = entities_[author_refs_[other]];
       const text::SimilarityLevel level = text::NameSimilarityLevel(
           a.first_name, a.last_name, b.first_name, b.last_name,
           options.thresholds);
       if (level == text::SimilarityLevel::kNone) continue;
-      candidate_pairs_.push_back({EntityPair(a.id, b.id), level});
+      found[i].push_back({EntityPair(a.id, b.id), level});
     }
+  });
+  for (const std::vector<CandidatePair>& pairs : found) {
+    candidate_pairs_.insert(candidate_pairs_.end(), pairs.begin(),
+                            pairs.end());
   }
   FinalizeCandidatePairs();
 }

@@ -11,6 +11,7 @@
 #include "data/entity.h"
 #include "data/relation.h"
 #include "text/similarity_level.h"
+#include "util/execution_context.h"
 
 namespace cem::data {
 
@@ -35,6 +36,18 @@ struct CandidateOptions {
   /// below it are never even scored. Keep below the level-1 threshold's
   /// effective trigram overlap so blocking does not lose candidates.
   double min_ngram_overlap = 0.25;
+  /// Generate candidates from the sharded MinHash/LSH index instead of the
+  /// full trigram postings scans: the same sub-quadratic win the LSH cover
+  /// builder gets, over the same shared blocking tokens. Banding is
+  /// probabilistic — pairs whose token Jaccard sits far below the S-curve
+  /// knee can be missed — so this is opt-in for scale runs.
+  bool use_lsh = false;
+  /// Banding knobs of the use_lsh path (mirror blocking::LshCoverOptions
+  /// defaults; kept as plain integers so data/ needs no blocking/ types in
+  /// this header). lsh_bands * lsh_rows must fit in lsh_num_hashes.
+  uint32_t lsh_bands = 32;
+  uint32_t lsh_rows = 2;
+  uint32_t lsh_num_hashes = 64;
 };
 
 /// An entity-matching problem instance: entities E, relations R, ground
@@ -68,9 +81,14 @@ class Dataset {
   /// entities/tuples are added.
   void Finalize();
 
-  /// Computes the candidate-pair index over author references using trigram
-  /// blocking followed by exact name similarity. Requires Finalize().
-  void BuildCandidatePairs(const CandidateOptions& options = {});
+  /// Computes the candidate-pair index over author references: a blocking
+  /// prefilter (trigram postings scans, or the sharded LSH index when
+  /// `options.use_lsh` is set) followed by exact name similarity. Scoring
+  /// runs in parallel on `ctx`; the result is sorted and deduplicated, so
+  /// it is identical for any thread/shard count. Requires Finalize().
+  void BuildCandidatePairs(
+      const CandidateOptions& options = {},
+      const ExecutionContext& ctx = ExecutionContext::Default());
 
   /// Registers a candidate pair with an explicit level, bypassing name
   /// similarity. Used by hand-built instances (Figure 1) and tests.

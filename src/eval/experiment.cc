@@ -35,12 +35,13 @@ core::BlockingStrategy BenchBlocking() {
 namespace {
 
 Workload MakeBibWorkload(std::string name, const data::BibConfig& config,
-                         core::BlockingStrategy blocking) {
+                         core::BlockingStrategy blocking,
+                         const ExecutionContext& ctx) {
   Workload w;
   w.name = std::move(name);
   w.blocking = blocking;
-  w.dataset = data::GenerateBibDataset(config);
-  w.cover = blocking::MakeCoverBuilder(blocking)->Build(*w.dataset);
+  w.dataset = data::GenerateBibDataset(config, {}, ctx);
+  w.cover = blocking::MakeCoverBuilder(blocking)->Build(*w.dataset, ctx);
   return w;
 }
 
@@ -50,18 +51,20 @@ Workload MakeHepthWorkload(double scale) {
   return MakeHepthWorkload(scale, BenchBlocking());
 }
 
-Workload MakeHepthWorkload(double scale, core::BlockingStrategy blocking) {
+Workload MakeHepthWorkload(double scale, core::BlockingStrategy blocking,
+                           const ExecutionContext& ctx) {
   return MakeBibWorkload("HEPTH-like", data::BibConfig::HepthLike(scale),
-                         blocking);
+                         blocking, ctx);
 }
 
 Workload MakeDblpWorkload(double scale) {
   return MakeDblpWorkload(scale, BenchBlocking());
 }
 
-Workload MakeDblpWorkload(double scale, core::BlockingStrategy blocking) {
+Workload MakeDblpWorkload(double scale, core::BlockingStrategy blocking,
+                          const ExecutionContext& ctx) {
   return MakeBibWorkload("DBLP-like", data::BibConfig::DblpLike(scale),
-                         blocking);
+                         blocking, ctx);
 }
 
 CostModelMatcher::CostModelMatcher(const core::Matcher& inner,

@@ -36,12 +36,18 @@ struct Workload {
 
 /// Builds the HEPTH-like workload at `scale` (see data::BibConfig) with the
 /// given blocking strategy; the single-argument form uses BenchBlocking().
+/// Candidate generation and cover construction run on `ctx` (default: the
+/// process-wide context, workers from CEM_THREADS).
 Workload MakeHepthWorkload(double scale);
-Workload MakeHepthWorkload(double scale, core::BlockingStrategy blocking);
+Workload MakeHepthWorkload(
+    double scale, core::BlockingStrategy blocking,
+    const ExecutionContext& ctx = ExecutionContext::Default());
 
 /// Builds the DBLP-like workload at `scale`.
 Workload MakeDblpWorkload(double scale);
-Workload MakeDblpWorkload(double scale, core::BlockingStrategy blocking);
+Workload MakeDblpWorkload(
+    double scale, core::BlockingStrategy blocking,
+    const ExecutionContext& ctx = ExecutionContext::Default());
 
 /// Decorator that makes any matcher cost what the paper's matcher costs.
 ///

@@ -1,5 +1,8 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <utility>
 
 #include "util/logging.h"
@@ -36,6 +39,38 @@ void ThreadPool::Schedule(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::RunTask(std::function<void()> task) {
+  std::exception_ptr error;
+  try {
+    task();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (error != nullptr && first_error_ == nullptr) first_error_ = error;
+    --in_flight_;
+    if (in_flight_ == 0) all_done_.notify_all();
+  }
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  RunTask(std::move(task));
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -52,21 +87,82 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
-    }
+    RunTask(std::move(task));
   }
+}
+
+ThreadPool& SharedThreadPool() {
+  static ThreadPool pool([] {
+    const char* raw = std::getenv("CEM_THREADS");
+    const int parsed = raw == nullptr ? 0 : std::atoi(raw);
+    return parsed > 0 ? static_cast<size_t>(parsed)
+                      : std::max<size_t>(1, std::thread::hardware_concurrency());
+  }());
+  return pool;
 }
 
 void ParallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t)>& fn) {
-  for (size_t i = 0; i < n; ++i) {
-    pool.Schedule([&fn, i] { fn(i); });
+  if (n == 0) return;
+
+  // Per-call state: the pool's Wait() cannot be used here because it waits
+  // on *all* in-flight tasks — a nested ParallelFor issued from inside a
+  // pool task would then deadlock on its own enclosing task.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex mu;
+    std::condition_variable helpers_done;
+    size_t live_helpers = 0;
+    std::exception_ptr first_error;
+  } state;
+
+  const auto run = [&state, &fn, n] {
+    while (!state.failed.load(std::memory_order_relaxed)) {
+      const size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (state.first_error == nullptr) {
+          state.first_error = std::current_exception();
+        }
+        state.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  // The caller counts as one worker: num_threads()-1 helpers keep total
+  // concurrency at exactly the pool's size (a 1-thread pool runs the loop
+  // serially on the caller).
+  const size_t helpers = std::min(n - 1, pool.num_threads() - 1);
+  state.live_helpers = helpers;
+  for (size_t t = 0; t < helpers; ++t) {
+    pool.Schedule([&state, run] {
+      run();
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.live_helpers == 0) state.helpers_done.notify_all();
+    });
   }
-  pool.Wait();
+  run();  // The caller works too; helpers that never got a slot exit fast.
+  // Wait for the helpers — draining other queued pool tasks meanwhile.
+  // Helping is what makes nesting safe: on a saturated pool a queued inner
+  // helper can otherwise wait forever for the very worker that is blocked
+  // here. Invariant: a thread only reaches the condition-variable wait with
+  // an empty queue, i.e. with its own helpers running or finished, so the
+  // wait always terminates.
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(state.mu);
+      if (state.live_helpers == 0) break;
+    }
+    if (pool.TryRunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(state.mu);
+    if (state.live_helpers == 0) break;
+    state.helpers_done.wait(lock);
+  }
+  if (state.first_error != nullptr) std::rethrow_exception(state.first_error);
 }
 
 }  // namespace cem

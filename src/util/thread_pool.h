@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -11,14 +12,16 @@
 
 namespace cem {
 
-/// Fixed-size worker pool. Used by the GridExecutor to model grid machines:
-/// one worker thread per simulated machine.
+/// Fixed-size worker pool. Used by the GridExecutor to model grid machines
+/// (one worker thread per simulated machine) and, via ExecutionContext, by
+/// every parallel pipeline stage.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1).
   explicit ThreadPool(size_t num_threads);
 
-  /// Drains outstanding work and joins the workers.
+  /// Drains outstanding work and joins the workers. An exception captured
+  /// after the last Wait() is dropped.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -27,24 +30,48 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker.
   void Schedule(std::function<void()> task);
 
-  /// Blocks until every scheduled task has finished.
+  /// Blocks until every scheduled task has finished. If any task threw, the
+  /// first captured exception is rethrown here (and cleared, so the pool
+  /// stays usable); later tasks still ran to completion.
   void Wait();
+
+  /// Pops one queued task (if any) and runs it on the calling thread,
+  /// with the same accounting/exception capture as a worker. Lets blocked
+  /// threads help drain the pool instead of deadlocking a saturated one —
+  /// ParallelFor's wait loop uses this. Returns false if the queue was
+  /// empty.
+  bool TryRunOneTask();
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
   void WorkerLoop();
 
+  /// Runs one dequeued task with exception capture + in-flight accounting.
+  void RunTask(std::function<void()> task);
+
   std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;
+  std::exception_ptr first_error_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
   std::vector<std::thread> threads_;
 };
 
+/// Process-wide pool shared by ExecutionContext::Default(): created on
+/// first use with CEM_THREADS workers (unset/0 = hardware concurrency) and
+/// joined at process exit. Prefer reaching it through an ExecutionContext.
+ThreadPool& SharedThreadPool();
+
 /// Runs `fn(i)` for i in [0, n) across `pool`, blocking until all complete.
+/// Indices are pulled from a shared counter (dynamic load balancing) and
+/// the calling thread participates as one of the pool-size workers (so a
+/// 1-thread pool runs serially on the caller, and calling ParallelFor from
+/// inside a pool task cannot deadlock on a saturated pool). If some
+/// `fn(i)` throws, unstarted iterations are abandoned and the first
+/// captured exception is rethrown on the calling thread.
 void ParallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t)>& fn);
 

@@ -11,6 +11,7 @@
 
 #include "blocking/lsh_index.h"
 #include "blocking/minhash.h"
+#include "util/execution_context.h"
 
 namespace cem {
 namespace {
@@ -163,6 +164,76 @@ TEST(LshIndex, DisjointTokenSetsRarelyCollide) {
   index.AddDocument(0, hasher.Signature(Tokens(0, 10)));
   index.AddDocument(1, hasher.Signature(Tokens(100, 10)));
   EXPECT_TRUE(index.Candidates(0).empty());
+}
+
+TEST(LshIndex, ShardCountNeverChangesTheIndex) {
+  // Sharding partitions the bucket space for parallel ownership; it must be
+  // invisible in every observable: candidates, bucket counts, work metric.
+  const MinHasher hasher;
+  const LshParams params{32, 2};
+  LshIndex reference(params, hasher.num_hashes());  // 1 shard.
+  std::vector<LshIndex> sharded;
+  for (uint32_t shards : {2u, 7u, 64u}) {
+    sharded.emplace_back(params, hasher.num_hashes(), shards);
+  }
+  constexpr uint32_t kDocs = 60;
+  for (uint32_t doc = 0; doc < kDocs; ++doc) {
+    const auto signature = hasher.Signature(Tokens(doc % 11, 12));
+    reference.AddDocument(doc, signature);
+    for (LshIndex& index : sharded) index.AddDocument(doc, signature);
+  }
+  for (const LshIndex& index : sharded) {
+    EXPECT_EQ(index.num_buckets(), reference.num_buckets());
+    EXPECT_EQ(index.TotalBucketPairs(), reference.TotalBucketPairs());
+    for (uint32_t doc = 0; doc < kDocs; ++doc) {
+      EXPECT_EQ(index.Candidates(doc), reference.Candidates(doc))
+          << index.num_shards() << " shards, doc " << doc;
+    }
+  }
+}
+
+TEST(LshIndex, ParallelBulkAddMatchesSerialAdds) {
+  const MinHasher hasher;
+  const LshParams params{16, 4};
+  constexpr uint32_t kDocs = 80;
+  std::vector<std::vector<uint64_t>> signatures;
+  for (uint32_t doc = 0; doc < kDocs; ++doc) {
+    signatures.push_back(hasher.Signature(Tokens(doc % 13, 10)));
+  }
+  LshIndex serial(params, hasher.num_hashes());
+  for (uint32_t doc = 0; doc < kDocs; ++doc) {
+    serial.AddDocument(doc, signatures[doc]);
+  }
+  for (uint32_t threads : {1u, 4u}) {
+    for (uint32_t shards : {1u, 8u}) {
+      ExecutionContext ctx(threads, shards);
+      LshIndex bulk(params, hasher.num_hashes(), shards);
+      bulk.AddDocuments(signatures, ctx);
+      EXPECT_EQ(bulk.num_documents(), serial.num_documents());
+      EXPECT_EQ(bulk.num_buckets(), serial.num_buckets());
+      EXPECT_EQ(bulk.TotalBucketPairs(), serial.TotalBucketPairs());
+      for (uint32_t doc = 0; doc < kDocs; ++doc) {
+        EXPECT_EQ(bulk.Candidates(doc), serial.Candidates(doc))
+            << threads << " threads, " << shards << " shards, doc " << doc;
+      }
+    }
+  }
+}
+
+TEST(MinHash, SignatureBatchMatchesSequentialSignatures) {
+  const MinHasher hasher;
+  std::vector<std::vector<std::string>> token_sets;
+  for (int doc = 0; doc < 50; ++doc) {
+    token_sets.push_back(Tokens(doc % 17, 3 + doc % 9));
+  }
+  for (uint32_t threads : {1u, 4u}) {
+    ExecutionContext ctx(threads);
+    const auto batch = hasher.SignatureBatch(token_sets, ctx);
+    ASSERT_EQ(batch.size(), token_sets.size());
+    for (size_t i = 0; i < token_sets.size(); ++i) {
+      EXPECT_EQ(batch[i], hasher.Signature(token_sets[i])) << "doc " << i;
+    }
+  }
 }
 
 }  // namespace

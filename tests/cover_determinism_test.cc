@@ -1,0 +1,169 @@
+// Determinism contract of the parallel blocking front-end: every
+// ExecutionContext-driven stage (MinHash signatures, sharded LSH
+// insertion, speculative cover assembly, boundary expansion, candidate
+// generation) must produce bit-identical output for ANY thread count and
+// ANY shard count — parallelism may change when work happens, never what
+// is computed. These tests pin that contract for both cover builders and
+// for Dataset::BuildCandidatePairs, mirroring the RunGrid==RunSmp style of
+// grid_consistency_test.cc at the blocking layer.
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/lsh_cover.h"
+#include "core/canopy.h"
+#include "core/cover_builder.h"
+#include "data/bib_generator.h"
+#include "util/execution_context.h"
+
+namespace cem {
+namespace {
+
+using core::BlockingStrategy;
+using core::Cover;
+
+/// Thread counts exercised everywhere: serial, oversubscribed small, and
+/// whatever this host actually has.
+std::vector<uint32_t> ThreadCounts() {
+  return {1, 4, std::max(1u, std::thread::hardware_concurrency())};
+}
+
+std::unique_ptr<data::Dataset> MakeCorpus(uint64_t seed, double scale = 0.08) {
+  data::BibConfig config = data::BibConfig::DblpLike(scale);
+  config.seed = seed;
+  return data::GenerateBibDataset(config);
+}
+
+void ExpectSameCover(const Cover& reference, const Cover& cover,
+                     const std::string& label) {
+  ASSERT_EQ(reference.size(), cover.size()) << label;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(reference.neighborhood(i).entities,
+              cover.neighborhood(i).entities)
+        << label << ", neighborhood " << i;
+  }
+}
+
+class CoverDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoverDeterminism, CanopyCoverIdenticalAcrossThreadCounts) {
+  const auto dataset = MakeCorpus(GetParam());
+  const auto builder = blocking::MakeCoverBuilder(BlockingStrategy::kCanopy);
+  ExecutionContext serial(1);
+  const Cover reference = builder->Build(*dataset, serial);
+  for (uint32_t threads : ThreadCounts()) {
+    ExecutionContext ctx(threads);
+    ExpectSameCover(reference, builder->Build(*dataset, ctx),
+                    "canopy, " + std::to_string(threads) + " threads");
+  }
+}
+
+TEST_P(CoverDeterminism, LshCoverIdenticalAcrossThreadAndShardCounts) {
+  const auto dataset = MakeCorpus(GetParam());
+  const auto builder = blocking::MakeCoverBuilder(BlockingStrategy::kLsh);
+  ExecutionContext serial(1, /*num_shards=*/1);
+  const Cover reference = builder->Build(*dataset, serial);
+  for (uint32_t threads : ThreadCounts()) {
+    for (uint32_t shards : {1u, 4u, 32u}) {
+      ExecutionContext ctx(threads, shards);
+      ExpectSameCover(reference, builder->Build(*dataset, ctx),
+                      "lsh, " + std::to_string(threads) + " threads, " +
+                          std::to_string(shards) + " shards");
+    }
+  }
+}
+
+TEST_P(CoverDeterminism, WorkCountersIdenticalAcrossThreadCounts) {
+  // The speculative scan batches are a fixed size, so even the *work*
+  // counters (not just the covers) are thread-count-independent.
+  const auto dataset = MakeCorpus(GetParam());
+  for (const BlockingStrategy strategy :
+       {BlockingStrategy::kCanopy, BlockingStrategy::kLsh}) {
+    const auto builder = blocking::MakeCoverBuilder(strategy);
+    ExecutionContext serial(1);
+    core::BlockingStats reference;
+    builder->Build(*dataset, serial, &reference);
+    EXPECT_GT(reference.pairs_considered, 0u);
+    for (uint32_t threads : ThreadCounts()) {
+      ExecutionContext ctx(threads);
+      core::BlockingStats stats;
+      builder->Build(*dataset, ctx, &stats);
+      EXPECT_EQ(stats.pairs_considered, reference.pairs_considered)
+          << builder->name() << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST_P(CoverDeterminism, CandidatePairsIdenticalAcrossThreadCounts) {
+  // Trigram candidate generation: same pairs, same levels, any context.
+  data::BibConfig config = data::BibConfig::DblpLike(0.08);
+  config.seed = GetParam();
+  ExecutionContext serial(1);
+  const auto reference = data::GenerateBibDataset(config, {}, serial);
+  for (uint32_t threads : ThreadCounts()) {
+    ExecutionContext ctx(threads);
+    const auto dataset = data::GenerateBibDataset(config, {}, ctx);
+    ASSERT_EQ(dataset->num_candidate_pairs(),
+              reference->num_candidate_pairs());
+    for (data::PairId id = 0; id < dataset->num_candidate_pairs(); ++id) {
+      EXPECT_EQ(dataset->candidate_pair(id).pair,
+                reference->candidate_pair(id).pair);
+      EXPECT_EQ(dataset->candidate_pair(id).level,
+                reference->candidate_pair(id).level);
+    }
+  }
+}
+
+TEST_P(CoverDeterminism, LshCandidatePairsIdenticalAcrossContexts) {
+  // The use_lsh generator: identical output for any thread/shard count.
+  data::BibConfig config = data::BibConfig::DblpLike(0.08);
+  config.seed = GetParam();
+  data::CandidateOptions options;
+  options.use_lsh = true;
+  ExecutionContext serial(1, /*num_shards=*/1);
+  const auto reference = data::GenerateBibDataset(config, options, serial);
+  for (uint32_t threads : ThreadCounts()) {
+    for (uint32_t shards : {1u, 16u}) {
+      ExecutionContext ctx(threads, shards);
+      const auto dataset = data::GenerateBibDataset(config, options, ctx);
+      ASSERT_EQ(dataset->num_candidate_pairs(),
+                reference->num_candidate_pairs())
+          << threads << " threads, " << shards << " shards";
+      for (data::PairId id = 0; id < dataset->num_candidate_pairs(); ++id) {
+        EXPECT_EQ(dataset->candidate_pair(id).pair,
+                  reference->candidate_pair(id).pair);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, CoverDeterminism,
+                         ::testing::Range<uint64_t>(7100, 7106));
+
+TEST(LshCandidateGeneration, KeepsNearAllTrigramPairsOnNoisyCorpus) {
+  // The banding S-curve (32x2, knee ~0.2) sits well below the 0.25 trigram
+  // overlap prefilter, so the sub-quadratic generator should retain almost
+  // all of the exact path's candidate pairs.
+  const auto exact = MakeCorpus(424242, 0.15);
+  data::BibConfig config = data::BibConfig::DblpLike(0.15);
+  config.seed = 424242;
+  data::CandidateOptions options;
+  options.use_lsh = true;
+  const auto lsh = data::GenerateBibDataset(config, options);
+  ASSERT_GT(exact->num_candidate_pairs(), 0u);
+  size_t kept = 0;
+  for (const data::CandidatePair& cp : exact->candidate_pairs()) {
+    if (lsh->FindCandidatePair(cp.pair.a, cp.pair.b).has_value()) ++kept;
+  }
+  const double recall =
+      static_cast<double>(kept) /
+      static_cast<double>(exact->num_candidate_pairs());
+  EXPECT_GE(recall, 0.9) << kept << "/" << exact->num_candidate_pairs();
+}
+
+}  // namespace
+}  // namespace cem

@@ -1,13 +1,16 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "util/execution_context.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -287,6 +290,100 @@ TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
   pool.Schedule([&counter] { counter.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.Schedule([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The exception is cleared and the pool stays usable.
+  std::atomic<int> counter{0};
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstOfManyExceptions) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Schedule([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();  // Only the first capture is kept; later Waits are clean.
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(pool, 100,
+                           [](size_t i) {
+                             if (i == 17) throw std::runtime_error("bad item");
+                           }),
+               std::runtime_error);
+  // A failed ParallelFor leaves the pool reusable.
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 10, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelForStopsIssuingAfterFailure) {
+  // An early failure abandons the (vast) remainder of the range; the two
+  // threads in flight can finish at most a sliver of it first.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(ParallelFor(pool, 1000000,
+                           [&ran](size_t i) {
+                             if (i == 3) throw std::runtime_error("stop");
+                             ran.fetch_add(1);
+                           }),
+               std::runtime_error);
+  EXPECT_LT(ran.load(), 1000000);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // The caller participates in the iteration loop, so a ParallelFor issued
+  // from inside a pool task completes even when every worker is busy.
+  ThreadPool pool(2);
+  std::atomic<int> leaf{0};
+  ParallelFor(pool, 4, [&pool, &leaf](size_t) {
+    ParallelFor(pool, 8, [&leaf](size_t) { leaf.fetch_add(1); });
+  });
+  EXPECT_EQ(leaf.load(), 32);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsSingletonAndRuns) {
+  ThreadPool& a = SharedThreadPool();
+  ThreadPool& b = SharedThreadPool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  ParallelFor(a, 25, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 25);
+}
+
+// ----------------------------------------------------- ExecutionContext --
+
+TEST(ExecutionContextTest, DefaultUsesSharedPool) {
+  const ExecutionContext& ctx = ExecutionContext::Default();
+  EXPECT_EQ(&ctx.pool(), &SharedThreadPool());
+  EXPECT_GE(ctx.num_threads(), 1u);
+  EXPECT_GE(ctx.num_shards(), 1u);
+}
+
+TEST(ExecutionContextTest, DedicatedPoolHonoursThreadCount) {
+  // Pin the env so an exported CEM_LSH_SHARDS cannot skew the default
+  // shard-count assertion (each gtest case runs in its own process).
+  unsetenv("CEM_LSH_SHARDS");
+  ExecutionContext ctx(3);
+  EXPECT_EQ(ctx.num_threads(), 3u);
+  EXPECT_NE(&ctx.pool(), &SharedThreadPool());
+  // Default shard count scales with the worker count.
+  EXPECT_GE(ctx.num_shards(), ctx.num_threads());
+}
+
+TEST(ExecutionContextTest, ExplicitShardsAndSeed) {
+  ExecutionContext ctx(2, 16, 99);
+  EXPECT_EQ(ctx.num_shards(), 16u);
+  EXPECT_EQ(ctx.seed(), 99u);
 }
 
 // ---------------------------------------------------------- TableWriter --
