@@ -30,10 +30,12 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "blocking/blocking_tokens.h"
 #include "blocking/lsh_cover.h"
 #include "core/canopy.h"
 #include "core/message_passing.h"
 #include "mln/mln_matcher.h"
+#include "text/token_index.h"
 #include "util/execution_context.h"
 #include "util/timer.h"
 
@@ -236,6 +238,81 @@ int main() {
   }
   report.Table("scaling", scaling_table);
   report.Metric("lsh_build_speedup_8t", lsh_speedup_8t);
+
+  // ---- Stage scaling: the two formerly-serial stages. -------------------
+  // Sharded TokenIndex construction and PatchPairCoverage were the last
+  // serial choke points of cover construction; both now run on the context
+  // pool with bit-identical output (and counters) for any thread count.
+  std::printf("\nStage scaling (largest DBLP-like dataset):\n");
+  TableWriter stage_table({"stage", "threads", "sec", "speedup", "identical"});
+  size_t token_index_postings = 0;
+  size_t patch_pairs_patched = 0;
+  {
+    const std::vector<data::EntityId>& refs = scaling_dataset->author_refs();
+    std::vector<std::vector<std::string>> token_sets(refs.size());
+    for (size_t i = 0; i < refs.size(); ++i) {
+      token_sets[i] =
+          blocking::AuthorBlockingTokens(scaling_dataset->entity(refs[i]));
+    }
+    text::TokenIndex reference_index(1);
+    reference_index.AddDocuments(token_sets, ExecutionContext(1, 1));
+    double index_base_seconds = 0.0;
+    for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
+      ExecutionContext ctx(threads);
+      Timer timer;
+      text::TokenIndex index(ctx.num_token_shards());
+      index.AddDocuments(token_sets, ctx);
+      const double seconds = timer.ElapsedSeconds();
+      if (threads == 1) index_base_seconds = seconds;
+      const bool identical =
+          index.num_tokens() == reference_index.num_tokens() &&
+          index.num_postings() == reference_index.num_postings();
+      CEM_CHECK(identical) << "token index changed at " << threads
+                           << " threads";
+      token_index_postings = index.num_postings();
+      stage_table.AddRow({"token index build", std::to_string(threads),
+                          bench::Secs(seconds),
+                          TableWriter::Num(index_base_seconds / seconds, 2),
+                          identical ? "yes" : "NO"});
+    }
+
+    // Patch the raw LSH cover (raw covers leave the most split pairs).
+    blocking::LshCoverOptions raw_options;
+    raw_options.expand_boundary = false;
+    raw_options.ensure_pair_coverage = false;
+    const core::Cover raw = blocking::BuildLshCover(*scaling_dataset,
+                                                    raw_options);
+    core::Cover patch_reference;
+    double patch_base_seconds = 0.0;
+    for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
+      ExecutionContext ctx(threads);
+      core::Cover patched = raw;
+      core::PatchStats stats;
+      Timer timer;
+      core::PatchPairCoverage(*scaling_dataset, patched, ctx, &stats);
+      const double seconds = timer.ElapsedSeconds();
+      bool identical = true;
+      if (threads == 1) {
+        patch_reference = patched;
+        patch_base_seconds = seconds;
+        patch_pairs_patched = stats.pairs_patched;
+      } else {
+        identical = SameCover(patch_reference, patched) &&
+                    stats.pairs_patched == patch_pairs_patched;
+      }
+      CEM_CHECK(identical) << "patched cover changed at " << threads
+                           << " threads";
+      stage_table.AddRow({"patch pair coverage", std::to_string(threads),
+                          bench::Secs(seconds),
+                          TableWriter::Num(patch_base_seconds / seconds, 2),
+                          identical ? "yes" : "NO"});
+    }
+  }
+  report.Table("stage_scaling", stage_table);
+  report.Metric("counter_token_index_postings",
+                static_cast<double>(token_index_postings));
+  report.Metric("counter_patch_pairs_patched",
+                static_cast<double>(patch_pairs_patched));
 
   // ---- Candidate generation: postings scans vs the sharded LSH index. ---
   // Candidate build happens inside GenerateBibDataset, so twin corpora are

@@ -11,8 +11,15 @@
 // noise-free across CI hosts; a counter that grew >15% means the algorithm
 // genuinely does more work, not that the machine was busy.
 //
-// Exit codes: 0 = within budget, 1 = regression, 2 = usage/io error.
+// A counter missing from the current report fails the gate (renames must
+// update the baseline deliberately); a counter present only in the current
+// report is printed as informational so new counters get blessed into the
+// baseline instead of silently riding ungated; a malformed (truncated,
+// conflicted, non-JSON) report file is a hard error.
+//
+// Exit codes: 0 = within budget, 1 = regression, 2 = usage/io/format error.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,6 +68,49 @@ bool ReadFile(const char* path, std::string* out) {
   return true;
 }
 
+/// Structural JSON check: the report must be one balanced object (braces
+/// and brackets matched outside strings, nothing but whitespace after it).
+/// Not a full parser — it catches the real failure modes of a baseline
+/// file: truncation, merge conflicts, an empty or non-JSON file.
+bool IsWellFormedJson(const std::string& json) {
+  size_t pos = 0;
+  while (pos < json.size() && std::isspace(static_cast<unsigned char>(
+                                  json[pos]))) {
+    ++pos;
+  }
+  if (pos == json.size() || json[pos] != '{') return false;
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (; pos < json.size(); ++pos) {
+    const char c = json[pos];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      stack.push_back(c);
+    } else if (c == '}' || c == ']') {
+      if (stack.empty() || (c == '}') != (stack.back() == '{')) return false;
+      stack.pop_back();
+      if (stack.empty()) break;  // Object closed; only whitespace may follow.
+    }
+  }
+  if (!stack.empty() || in_string) return false;
+  for (++pos; pos < json.size(); ++pos) {
+    if (!std::isspace(static_cast<unsigned char>(json[pos]))) return false;
+  }
+  return true;
+}
+
 const Counter* Find(const std::vector<Counter>& counters,
                     const std::string& key) {
   for (const Counter& c : counters) {
@@ -97,6 +147,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot read current %s\n", files[1]);
     return 2;
   }
+  if (!IsWellFormedJson(baseline_json)) {
+    std::fprintf(stderr,
+                 "bench_diff: baseline %s is malformed JSON (truncated or "
+                 "corrupted?); regenerate it with ci/update_baselines.sh\n",
+                 files[0]);
+    return 2;
+  }
+  if (!IsWellFormedJson(current_json)) {
+    std::fprintf(stderr, "bench_diff: current report %s is malformed JSON\n",
+                 files[1]);
+    return 2;
+  }
 
   const std::vector<Counter> baseline = ParseCounters(baseline_json);
   const std::vector<Counter> current = ParseCounters(current_json);
@@ -110,9 +172,9 @@ int main(int argc, char** argv) {
   for (const Counter& base : baseline) {
     const Counter* now = Find(current, base.key);
     if (now == nullptr) {
-      // A disappeared counter silently disables its gate forever (the
-      // baseline is refreshed after this run) — treat it as a failure so
-      // renames must update the baseline deliberately.
+      // A disappeared counter silently disables its gate forever — treat
+      // it as a failure so renames must re-bless the committed baseline
+      // (ci/update_baselines.sh) deliberately.
       std::fprintf(stderr, "FAIL %s: missing from current report\n",
                    base.key.c_str());
       ++regressions;
@@ -130,6 +192,16 @@ int main(int argc, char** argv) {
     std::printf("%s %s: %.6g -> %.6g (%s)\n", failed ? "FAIL" : "ok  ",
                 base.key.c_str(), base.value, now->value, delta);
     if (failed) ++regressions;
+  }
+  // Counters that exist only in the current report are not gated yet;
+  // report them so a new counter is blessed deliberately, not forgotten.
+  for (const Counter& now : current) {
+    if (Find(baseline, now.key) == nullptr) {
+      std::printf(
+          "new  %s: %.6g (no baseline; run ci/update_baselines.sh to "
+          "start gating it)\n",
+          now.key.c_str(), now.value);
+    }
   }
   if (regressions > 0) {
     std::fprintf(stderr,

@@ -1,20 +1,36 @@
 #!/usr/bin/env bash
 # CI gate: configure + build (warnings as errors) + tier-1 tests +
 # header self-containment + format check + bench smoke runs + a bench
-# regression gate (tracked counters diffed against the previous run's
-# BENCH_*.json reports), then an AddressSanitizer build re-running the
-# tier-1 suite. Run from anywhere.
-# Set CEM_CI_SKIP_ASAN=1 to skip the sanitizer stage; BENCH_BASELINE_DIR
-# overrides where the regression baseline reports live.
+# regression gate (tracked counters diffed against the blessed baselines
+# committed under bench/baselines/), an AddressSanitizer build re-running
+# the tier-1 suite, and a ThreadSanitizer build re-running the
+# concurrency-labeled suites. Run from anywhere; a fresh checkout passes
+# end-to-end using only the committed baselines.
+#
+# Knobs:
+#   CEM_CI_SKIP_ASAN=1   skip the AddressSanitizer stage
+#   CEM_CI_SKIP_TSAN=1   skip the ThreadSanitizer stage
+#   BENCH_BASELINE_DIR   override where the blessed baseline reports live
+#                        (default: bench/baselines; bless new ones with
+#                        ci/update_baselines.sh)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-ci}"
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-${REPO_ROOT}/build-ci-asan}"
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-${REPO_ROOT}/build-ci-tsan}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
+# Pick up ccache when available (the GitHub workflow restores its cache
+# between runs; local runs just get faster rebuilds).
+CMAKE_EXTRA_ARGS=()
+if command -v ccache > /dev/null 2>&1; then
+  CMAKE_EXTRA_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 echo "== configure (${BUILD_DIR})"
-cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCEM_WERROR=ON
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCEM_WERROR=ON \
+  "${CMAKE_EXTRA_ARGS[@]}"
 
 echo "== build (all targets, -j${JOBS})"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
@@ -36,37 +52,69 @@ ctest --test-dir "${BUILD_DIR}" -L bench_smoke -E bench_smoke_ablation_blocking 
 
 echo "== bench regression gate (tracked counters, >15% slowdown fails)"
 BENCH_JSON_DIR="${BUILD_DIR}/bench-json"
-BENCH_BASELINE_DIR="${BENCH_BASELINE_DIR:-${REPO_ROOT}/.bench-baseline}"
+BENCH_BASELINE_DIR="${BENCH_BASELINE_DIR:-${REPO_ROOT}/bench/baselines}"
+if [[ ! -d "${BENCH_BASELINE_DIR}" ]]; then
+  echo "error: no baseline dir at ${BENCH_BASELINE_DIR}." >&2
+  echo "Bless baselines with ci/update_baselines.sh and commit them." >&2
+  exit 1
+fi
 rm -rf "${BENCH_JSON_DIR}"
 mkdir -p "${BENCH_JSON_DIR}"
 CEM_BENCH_SCALE=0.05 CEM_BENCH_JSON_DIR="${BENCH_JSON_DIR}" \
   "${BUILD_DIR}/ablation_blocking" > /dev/null
-if [[ -d "${BENCH_BASELINE_DIR}" ]]; then
-  for report in "${BENCH_JSON_DIR}"/BENCH_*.json; do
-    base="${BENCH_BASELINE_DIR}/$(basename "${report}")"
-    if [[ -f "${base}" ]]; then
-      echo "-- $(basename "${report}")"
-      "${BUILD_DIR}/bench_diff" "${base}" "${report}" --max-slowdown 0.15
-    else
-      echo "-- $(basename "${report}"): no baseline yet"
-    fi
-  done
-else
-  echo "no baseline at ${BENCH_BASELINE_DIR}; this run records the first one"
+shopt -s nullglob
+compared=0
+for report in "${BENCH_JSON_DIR}"/BENCH_*.json; do
+  base="${BENCH_BASELINE_DIR}/$(basename "${report}")"
+  if [[ -f "${base}" ]]; then
+    echo "-- $(basename "${report}")"
+    "${BUILD_DIR}/bench_diff" "${base}" "${report}" --max-slowdown 0.15
+    compared=$((compared + 1))
+  else
+    echo "-- $(basename "${report}"): NO BASELINE — run ci/update_baselines.sh to bless one"
+  fi
+done
+# A baseline whose bench no longer emits a report would silently stop
+# gating; deleting a bench must delete (or re-bless) its baseline too.
+for base in "${BENCH_BASELINE_DIR}"/BENCH_*.json; do
+  if [[ ! -f "${BENCH_JSON_DIR}/$(basename "${base}")" ]]; then
+    echo "error: baseline $(basename "${base}") has no current report;" \
+      "delete it or re-bless with ci/update_baselines.sh" >&2
+    exit 1
+  fi
+done
+shopt -u nullglob
+if [[ "${compared}" -eq 0 ]]; then
+  echo "error: bench regression gate compared nothing (no reports matched" \
+    "a baseline) — the gate must never pass vacuously" >&2
+  exit 1
 fi
-mkdir -p "${BENCH_BASELINE_DIR}"
-cp "${BENCH_JSON_DIR}"/BENCH_*.json "${BENCH_BASELINE_DIR}/"
 
 if [[ "${CEM_CI_SKIP_ASAN:-0}" != "1" ]]; then
   echo "== ASAN configure (${ASAN_BUILD_DIR})"
   cmake -B "${ASAN_BUILD_DIR}" -S "${REPO_ROOT}" \
-    -DCEM_SANITIZE=address -DCEM_BUILD_BENCH=OFF -DCEM_BUILD_EXAMPLES=OFF
+    -DCEM_SANITIZE=address -DCEM_BUILD_BENCH=OFF -DCEM_BUILD_EXAMPLES=OFF \
+    "${CMAKE_EXTRA_ARGS[@]}"
 
   echo "== ASAN build (-j${JOBS})"
   cmake --build "${ASAN_BUILD_DIR}" -j "${JOBS}"
 
   echo "== ASAN ctest -L tier1"
   ctest --test-dir "${ASAN_BUILD_DIR}" -L tier1 -j "${JOBS}" --output-on-failure
+fi
+
+if [[ "${CEM_CI_SKIP_TSAN:-0}" != "1" ]]; then
+  echo "== TSAN configure (${TSAN_BUILD_DIR})"
+  cmake -B "${TSAN_BUILD_DIR}" -S "${REPO_ROOT}" \
+    -DCEM_SANITIZE=thread -DCEM_BUILD_BENCH=OFF -DCEM_BUILD_EXAMPLES=OFF \
+    "${CMAKE_EXTRA_ARGS[@]}"
+
+  echo "== TSAN build (-j${JOBS})"
+  cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}"
+
+  echo "== TSAN ctest -L concurrency"
+  ctest --test-dir "${TSAN_BUILD_DIR}" -L concurrency -j "${JOBS}" \
+    --output-on-failure
 fi
 
 echo "== OK"

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Regenerates the blessed bench-regression baselines under bench/baselines/
+# and stages them for commit. Run after an intentional counter change (new
+# counter, renamed counter, algorithm that genuinely does less/more work),
+# then commit the result — ci/check.sh diffs every CI run against these
+# files.
+#
+# Baselines hold the tracked "counter_*" metrics only (deterministic work
+# measures); wall times and tables are stripped so the committed files stay
+# byte-stable across hosts.
+#
+# Knobs: BUILD_DIR (default build-ci), CEM_BENCH_SCALE (default 0.05 — must
+# match the scale ci/check.sh runs the gate at).
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-ci}"
+BASELINE_DIR="${REPO_ROOT}/bench/baselines"
+SCALE="${CEM_BENCH_SCALE:-0.05}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+echo "== configure + build bench binaries (${BUILD_DIR})"
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCEM_WERROR=ON > /dev/null
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_ablation_blocking
+
+echo "== run benches at CEM_BENCH_SCALE=${SCALE}"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "${TMP_DIR}"' EXIT
+CEM_BENCH_SCALE="${SCALE}" CEM_BENCH_JSON_DIR="${TMP_DIR}" \
+  "${BUILD_DIR}/ablation_blocking" > /dev/null
+
+mkdir -p "${BASELINE_DIR}"
+for report in "${TMP_DIR}"/BENCH_*.json; do
+  name="$(basename "${report}")"
+  slug="${name#BENCH_}"
+  slug="${slug%.json}"
+  # Keep only the tracked counters; everything else (tables, wall times)
+  # churns across hosts and would make the committed baseline noisy.
+  counters="$(grep -o '"counter_[^"]*": *[-+0-9.eE]*' "${report}" \
+    | sed 's/$/,/' | tr -d '\n' | sed 's/,$//; s/,/, /g')"
+  if [[ -z "${counters}" ]]; then
+    echo "-- ${name}: no tracked counters; skipped"
+    continue
+  fi
+  printf '{"bench": "%s", "scale": %s, %s}\n' \
+    "${slug}" "${SCALE}" "${counters}" > "${BASELINE_DIR}/${name}"
+  echo "-- blessed ${BASELINE_DIR#"${REPO_ROOT}"/}/${name}"
+done
+
+git -C "${REPO_ROOT}" add "${BASELINE_DIR}"
+echo "== staged; review with 'git diff --cached bench/baselines' and commit"

@@ -53,7 +53,9 @@ core::Cover BuildLshCover(const data::Dataset& dataset,
     options.stats->pairs_considered = pairs_considered;
   }
 
-  if (options.ensure_pair_coverage) core::PatchPairCoverage(dataset, cover);
+  if (options.ensure_pair_coverage) {
+    core::PatchPairCoverage(dataset, cover, ctx);
+  }
   if (options.expand_boundary) {
     core::ExpandCoauthorBoundary(dataset, cover, ctx);
   }

@@ -18,14 +18,15 @@ Cover BuildCanopyCover(const data::Dataset& dataset,
       options.context != nullptr ? *options.context
                                  : ExecutionContext::Default();
 
-  // Cheap-distance index over author refs (dense doc ids = position). Built
-  // serially: postings lists share one token map, and index construction is
-  // a small fraction of the scan work parallelised below.
-  text::TokenIndex index;
-  for (size_t i = 0; i < refs.size(); ++i) {
-    index.AddDocument(static_cast<uint32_t>(i),
-                      blocking::AuthorBlockingTokens(dataset.entity(refs[i])));
-  }
+  // Sharded cheap-distance index over author refs (dense doc ids =
+  // position): token extraction and the postings build both run on ctx,
+  // with each worker owning whole token shards.
+  std::vector<std::vector<std::string>> token_sets(refs.size());
+  ParallelFor(ctx.pool(), refs.size(), [&](size_t i) {
+    token_sets[i] = blocking::AuthorBlockingTokens(dataset.entity(refs[i]));
+  });
+  text::TokenIndex index(ctx.num_token_shards());
+  index.AddDocuments(token_sets, ctx);
 
   // Canopies: random seed order; loose joins, tight removes from seed pool.
   // The postings scans run in parallel batches; the seed loop replays
@@ -46,7 +47,7 @@ Cover BuildCanopyCover(const data::Dataset& dataset,
 
   // Patch: make the cover total over Similar — every candidate pair inside
   // some neighborhood.
-  if (options.ensure_pair_coverage) PatchPairCoverage(dataset, cover);
+  if (options.ensure_pair_coverage) PatchPairCoverage(dataset, cover, ctx);
 
   // Boundary expansion: make the cover total w.r.t. Coauthor.
   if (options.expand_boundary) ExpandCoauthorBoundary(dataset, cover, ctx);

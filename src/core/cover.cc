@@ -1,6 +1,7 @@
 #include "core/cover.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <unordered_map>
 #include <unordered_set>
@@ -115,28 +116,80 @@ double Cover::CandidatePairCoverage(const data::Dataset& dataset) const {
          static_cast<double>(dataset.num_candidate_pairs());
 }
 
-void PatchPairCoverage(const data::Dataset& dataset, Cover& cover) {
+namespace {
+
+/// Candidate pairs speculatively checked per round. Constant (not derived
+/// from the thread count) so the recheck pattern — and the PatchStats
+/// counters — are identical for any ExecutionContext.
+constexpr size_t kPatchBatch = 4096;
+/// Pairs per parallel task inside a batch: one split check is far cheaper
+/// than a task dispatch, so workers pull chunks, not single pairs.
+constexpr size_t kPatchChunk = 64;
+
+}  // namespace
+
+void PatchPairCoverage(const data::Dataset& dataset, Cover& cover,
+                       const ExecutionContext& ctx, PatchStats* stats) {
   std::unordered_map<data::EntityId, std::vector<size_t>> homes;
   for (size_t i = 0; i < cover.size(); ++i) {
     for (data::EntityId e : cover.neighborhood(i).entities) {
       homes[e].push_back(i);
     }
   }
-  for (const data::CandidatePair& cp : dataset.candidate_pairs()) {
-    const auto& homes_a = homes[cp.pair.a];
-    const auto& homes_b = homes[cp.pair.b];
-    bool together = false;
-    for (size_t ha : homes_a) {
-      if (std::find(homes_b.begin(), homes_b.end(), ha) != homes_b.end()) {
-        together = true;
-        break;
+  const auto together = [&homes](data::EntityId a, data::EntityId b) {
+    const auto it_a = homes.find(a);
+    const auto it_b = homes.find(b);
+    if (it_a == homes.end() || it_b == homes.end()) return false;
+    for (size_t ha : it_a->second) {
+      if (std::find(it_b->second.begin(), it_b->second.end(), ha) !=
+          it_b->second.end()) {
+        return true;
       }
     }
-    if (!together) {
-      CEM_CHECK(!homes_a.empty()) << "cover must contain every ref";
-      cover.AddEntityTo(homes_a.front(), cp.pair.b);
-      homes[cp.pair.b].push_back(homes_a.front());
+    return false;
+  };
+
+  const std::vector<data::CandidatePair>& pairs = dataset.candidate_pairs();
+  const size_t num_pairs = pairs.size();
+  size_t patched = 0;
+  size_t rechecked = 0;
+  std::vector<uint8_t> split(std::min(kPatchBatch, num_pairs), 0);
+  for (size_t start = 0; start < num_pairs; start += kPatchBatch) {
+    const size_t len = std::min(kPatchBatch, num_pairs - start);
+    // Parallel phase: split detection against the map as of the previous
+    // batch's replay — strictly read-only (find, never operator[]).
+    const size_t num_chunks = (len + kPatchChunk - 1) / kPatchChunk;
+    ParallelFor(ctx.pool(), num_chunks, [&](size_t c) {
+      const size_t chunk_end = std::min(len, (c + 1) * kPatchChunk);
+      for (size_t i = c * kPatchChunk; i < chunk_end; ++i) {
+        const data::EntityPair& p = pairs[start + i].pair;
+        split[i] = together(p.a, p.b) ? 0 : 1;
+      }
+    });
+    // Serial phase: replay the repairs in pair order. `homes` lists only
+    // grow (and repairs read homes_a.front(), which appends never move),
+    // so this is exactly the serial algorithm's outcome for every pair.
+    bool dirty = false;
+    for (size_t i = 0; i < len; ++i) {
+      if (!split[i]) continue;
+      const data::EntityPair& p = pairs[start + i].pair;
+      if (dirty) {
+        ++rechecked;
+        if (together(p.a, p.b)) continue;
+      }
+      const auto it_a = homes.find(p.a);
+      CEM_CHECK(it_a != homes.end() && !it_a->second.empty())
+          << "cover must contain every ref";
+      const size_t home = it_a->second.front();
+      cover.AddEntityTo(home, p.b);
+      homes[p.b].push_back(home);
+      ++patched;
+      dirty = true;
     }
+  }
+  if (stats != nullptr) {
+    stats->pairs_patched = patched;
+    stats->pairs_rechecked = rechecked;
   }
 }
 

@@ -80,11 +80,34 @@ class Cover {
 // blocking pass rarely produces a cover satisfying Definition 7 on its own,
 // so builders run these two patches as a post-pass.
 
+/// Instrumentation of a PatchPairCoverage pass. Both counters are
+/// deterministic for any thread count (the speculative batches are a fixed
+/// size, so the same pairs are rechecked no matter how the scans were
+/// scheduled).
+struct PatchStats {
+  /// Split pairs repaired into a neighborhood of their first endpoint.
+  size_t pairs_patched = 0;
+  /// Speculatively-split pairs re-verified serially because an earlier
+  /// repair in the same batch had already mutated the cover.
+  size_t pairs_rechecked = 0;
+};
+
 /// Makes `cover` total w.r.t. Similar: every candidate pair ends up inside
 /// some neighborhood (any pair the blocking pass split is patched into a
 /// neighborhood of its first endpoint). Every author ref must already be
 /// covered.
-void PatchPairCoverage(const data::Dataset& dataset, Cover& cover);
+///
+/// Parallel *and* bit-identical to the serial pass for any thread count:
+/// split-pair detection runs in fixed-size batches on `ctx`'s pool against
+/// a read-only snapshot of the entity->neighborhood map, while the repairs
+/// themselves replay serially in candidate-pair order. Neighborhood
+/// membership only ever grows, so a speculative "together" verdict is
+/// final; a speculative "split" verdict is re-verified serially when an
+/// earlier repair in the same batch touched the map.
+void PatchPairCoverage(
+    const data::Dataset& dataset, Cover& cover,
+    const ExecutionContext& ctx = ExecutionContext::Default(),
+    PatchStats* stats = nullptr);
 
 /// Boundary expansion (Section 4): adds each member's coauthors to its
 /// neighborhoods, making `cover` total w.r.t. Coauthor (Definition 7). This

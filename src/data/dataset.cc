@@ -98,7 +98,7 @@ void Dataset::BuildCandidatePairs(const CandidateOptions& options,
   // The LSH structures are only constructed (and their knobs validated) on
   // the use_lsh path.
   std::function<std::vector<uint32_t>(uint32_t)> block_fn;
-  text::TokenIndex index;
+  std::optional<text::TokenIndex> index;
   std::optional<blocking::LshIndex> lsh;
   if (options.use_lsh) {
     // Sub-quadratic path: reuse the sharded banded index, parallel insert.
@@ -114,13 +114,14 @@ void Dataset::BuildCandidatePairs(const CandidateOptions& options,
       return out;
     };
   } else {
-    // Exact path: trigram inverted index, full postings scans.
-    for (size_t i = 0; i < n; ++i) {
-      index.AddDocument(static_cast<uint32_t>(i), tokens[i]);
-    }
+    // Exact path: sharded trigram inverted index (parallel build), full
+    // postings scans.
+    index.emplace(ctx.num_token_shards());
+    index->AddDocuments(tokens, ctx);
     block_fn = [&](uint32_t i) {
       std::vector<uint32_t> out;
-      for (const auto& cand : index.Candidates(i, options.min_ngram_overlap)) {
+      for (const auto& cand :
+           index->Candidates(i, options.min_ngram_overlap)) {
         if (cand.doc_id > i) out.push_back(cand.doc_id);
       }
       return out;

@@ -1,12 +1,29 @@
 #include "text/token_index.h"
 
 #include <algorithm>
-#include <set>
 
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace cem::text {
+namespace {
+
+/// Lower-cases, sorts and deduplicates one document's token set — the
+/// canonical per-document form both insertion paths produce.
+std::vector<std::string> NormalizeTokens(
+    const std::vector<std::string>& tokens) {
+  std::vector<std::string> unique;
+  unique.reserve(tokens.size());
+  for (const std::string& t : tokens) unique.push_back(ToLower(t));
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  return unique;
+}
+
+}  // namespace
+
+TokenIndex::TokenIndex(uint32_t num_shards)
+    : shards_(std::max(num_shards, 1u)) {}
 
 void TokenIndex::AddDocument(uint32_t doc_id,
                              const std::vector<std::string>& tokens) {
@@ -15,13 +32,54 @@ void TokenIndex::AddDocument(uint32_t doc_id,
     doc_tokens_.resize(doc_id + 1);
   }
   CEM_CHECK(doc_token_counts_[doc_id] == 0) << "document added twice";
-  std::set<std::string> unique;
-  for (const std::string& t : tokens) unique.insert(ToLower(t));
+  std::vector<std::string> unique = NormalizeTokens(tokens);
   for (const std::string& t : unique) {
-    postings_[t].push_back(doc_id);
-    doc_tokens_[doc_id].push_back(t);
+    shards_[ShardOf(t)].postings[t].push_back(doc_id);
   }
   doc_token_counts_[doc_id] = static_cast<uint32_t>(unique.size());
+  doc_tokens_[doc_id] = std::move(unique);
+}
+
+void TokenIndex::AddDocuments(
+    const std::vector<std::vector<std::string>>& token_sets,
+    const ExecutionContext& ctx) {
+  CEM_CHECK(doc_token_counts_.empty()) << "AddDocuments on a non-empty index";
+  const size_t num_docs = token_sets.size();
+  doc_tokens_.resize(num_docs);
+  doc_token_counts_.resize(num_docs, 0);
+  // Parallel phase: normalise every document's token set.
+  ParallelFor(ctx.pool(), num_docs, [&](size_t doc) {
+    doc_tokens_[doc] = NormalizeTokens(token_sets[doc]);
+    doc_token_counts_[doc] = static_cast<uint32_t>(doc_tokens_[doc].size());
+  });
+  // Partition the (token, doc) stream by owning shard — one cheap linear
+  // append pass, in doc order, so each shard's list replays serial
+  // AddDocument order exactly.
+  struct Entry {
+    const std::string* token;
+    uint32_t doc;
+  };
+  std::vector<std::vector<Entry>> per_shard(shards_.size());
+  size_t total_postings = 0;
+  for (size_t doc = 0; doc < num_docs; ++doc) {
+    total_postings += doc_tokens_[doc].size();
+  }
+  for (auto& list : per_shard) {
+    list.reserve(total_postings / shards_.size() + 1);
+  }
+  for (size_t doc = 0; doc < num_docs; ++doc) {
+    for (const std::string& t : doc_tokens_[doc]) {
+      per_shard[ShardOf(t)].push_back({&t, static_cast<uint32_t>(doc)});
+    }
+  }
+  // Parallel insertion: each worker owns whole shards, so the (expensive)
+  // postings-map building needs no synchronisation.
+  ParallelFor(ctx.pool(), shards_.size(), [&](size_t s) {
+    Shard& shard = shards_[s];
+    for (const Entry& entry : per_shard[s]) {
+      shard.postings[*entry.token].push_back(entry.doc);
+    }
+  });
 }
 
 std::vector<TokenIndex::Neighbor> TokenIndex::Candidates(
@@ -34,8 +92,9 @@ std::vector<TokenIndex::Neighbor> TokenIndex::Candidates(
   std::vector<const std::vector<uint32_t>*> lists;
   lists.reserve(doc_tokens_[doc_id].size());
   for (const std::string& t : doc_tokens_[doc_id]) {
-    auto it = postings_.find(t);
-    if (it == postings_.end()) continue;
+    const Shard& shard = shards_[ShardOf(t)];
+    auto it = shard.postings.find(t);
+    if (it == shard.postings.end()) continue;
     lists.push_back(&it->second);
     postings_total += it->second.size();
   }
@@ -60,6 +119,20 @@ std::vector<TokenIndex::Neighbor> TokenIndex::Candidates(
               return a.doc_id < b.doc_id;
             });
   return out;
+}
+
+size_t TokenIndex::num_tokens() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.postings.size();
+  return total;
+}
+
+size_t TokenIndex::num_postings() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    for (const auto& [token, docs] : shard.postings) total += docs.size();
+  }
+  return total;
 }
 
 }  // namespace cem::text

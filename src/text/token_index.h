@@ -3,10 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
-#include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "util/execution_context.h"
 
 namespace cem::text {
 
@@ -14,13 +16,29 @@ namespace cem::text {
 /// of the Canopies algorithm [McCallum et al., KDD 2000]: candidate
 /// neighbours of a document are the documents sharing at least one token,
 /// scored by overlap.
+///
+/// Postings are partitioned into `num_shards` shards by token hash, so bulk
+/// insertion (AddDocuments) parallelises with each shard owned by exactly
+/// one worker — no locks — and concurrent read-only Candidates() calls are
+/// always safe. The shard count never changes what the index contains:
+/// postings membership, Candidates() and the `num_scored` counters are
+/// bit-identical for any shard count.
 class TokenIndex {
  public:
-  TokenIndex() = default;
+  /// `num_shards` partitions the token space (clamped to at least 1).
+  explicit TokenIndex(uint32_t num_shards = 1);
 
   /// Adds a document; `doc_id` values should be dense (0..n-1). Tokens are
   /// lower-cased; duplicate tokens within a document are collapsed.
   void AddDocument(uint32_t doc_id, const std::vector<std::string>& tokens);
+
+  /// Bulk-adds documents 0..token_sets.size()-1 in parallel on `ctx`:
+  /// token sets are normalised per document, then each shard inserts the
+  /// postings it owns in document order. The index must be empty.
+  /// Equivalent to calling AddDocument for each document in increasing id
+  /// order.
+  void AddDocuments(const std::vector<std::vector<std::string>>& token_sets,
+                    const ExecutionContext& ctx);
 
   /// Number of documents added.
   size_t num_documents() const { return doc_token_counts_.size(); }
@@ -40,10 +58,27 @@ class TokenIndex {
 
   /// Tokens shared between index entry construction calls are interned; this
   /// returns the number of distinct tokens seen.
-  size_t num_tokens() const { return postings_.size(); }
+  size_t num_tokens() const;
+
+  /// Total postings entries (sum of postings-list lengths): the work the
+  /// index build does, independent of thread and shard count.
+  size_t num_postings() const;
+
+  size_t num_shards() const { return shards_.size(); }
 
  private:
-  std::unordered_map<std::string, std::vector<uint32_t>> postings_;
+  /// Shard owning `token` (std::hash is stable within a process; the shard
+  /// assignment never leaks into any query result).
+  size_t ShardOf(const std::string& token) const {
+    return std::hash<std::string>{}(token) % shards_.size();
+  }
+
+  struct Shard {
+    /// Token -> member doc ids, in insertion (= doc id) order.
+    std::unordered_map<std::string, std::vector<uint32_t>> postings;
+  };
+
+  std::vector<Shard> shards_;
   std::vector<std::vector<std::string>> doc_tokens_;
   std::vector<uint32_t> doc_token_counts_;
 };

@@ -28,12 +28,16 @@ class ExecutionContext {
   static constexpr uint64_t kDefaultSeed = 7;
 
   /// Shared-pool context: runs on SharedThreadPool() (worker count from
-  /// CEM_THREADS, see thread_pool.h) with the shard count from
-  /// CEM_LSH_SHARDS (unset/0 = 4x the worker count, clamped to [1, 256]).
+  /// CEM_THREADS, see thread_pool.h) with the LSH shard count from
+  /// CEM_LSH_SHARDS (unset/0 = 4x the worker count, clamped to [1, 256])
+  /// and the token-index shard count from CEM_TOKEN_SHARDS (unset/0 =
+  /// the CEM_LSH_SHARDS resolution).
   ExecutionContext();
 
   /// Dedicated-pool context with `num_threads` workers (0 = hardware
   /// concurrency) and `num_shards` shards (0 = 4x the worker count).
+  /// An explicit `num_shards` applies to both the LSH buckets and the
+  /// token index, so tests sweep one knob.
   explicit ExecutionContext(uint32_t num_threads, uint32_t num_shards = 0,
                             uint64_t seed = kDefaultSeed);
 
@@ -51,12 +55,15 @@ class ExecutionContext {
     return static_cast<uint32_t>(pool_->num_threads());
   }
   uint32_t num_shards() const { return num_shards_; }
+  /// Shard count of token-partitioned structures (text::TokenIndex).
+  uint32_t num_token_shards() const { return num_token_shards_; }
   uint64_t seed() const { return seed_; }
 
  private:
   std::unique_ptr<ThreadPool> owned_pool_;  // Null for shared-pool contexts.
   ThreadPool* pool_;
   uint32_t num_shards_;
+  uint32_t num_token_shards_;
   uint64_t seed_;
 };
 

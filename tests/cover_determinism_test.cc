@@ -14,10 +14,13 @@
 
 #include <gtest/gtest.h>
 
+#include "blocking/blocking_tokens.h"
 #include "blocking/lsh_cover.h"
 #include "core/canopy.h"
+#include "core/cover.h"
 #include "core/cover_builder.h"
 #include "data/bib_generator.h"
+#include "text/token_index.h"
 #include "util/execution_context.h"
 
 namespace cem {
@@ -137,6 +140,87 @@ TEST_P(CoverDeterminism, LshCandidatePairsIdenticalAcrossContexts) {
         EXPECT_EQ(dataset->candidate_pair(id).pair,
                   reference->candidate_pair(id).pair);
       }
+    }
+  }
+}
+
+TEST_P(CoverDeterminism, TokenIndexIdenticalAcrossThreadAndShardCounts) {
+  // The sharded TokenIndex build: candidates AND the num_scored work
+  // counter must match the serial single-shard AddDocument loop for any
+  // thread count and any shard count.
+  const auto dataset = MakeCorpus(GetParam());
+  const std::vector<data::EntityId>& refs = dataset->author_refs();
+  std::vector<std::vector<std::string>> token_sets(refs.size());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    token_sets[i] = blocking::AuthorBlockingTokens(dataset->entity(refs[i]));
+  }
+  text::TokenIndex reference;
+  for (size_t i = 0; i < refs.size(); ++i) {
+    reference.AddDocument(static_cast<uint32_t>(i), token_sets[i]);
+  }
+  for (uint32_t threads : ThreadCounts()) {
+    for (uint32_t shards : {1u, 4u, 32u}) {
+      ExecutionContext ctx(threads, shards);
+      text::TokenIndex index(ctx.num_token_shards());
+      index.AddDocuments(token_sets, ctx);
+      ASSERT_EQ(index.num_documents(), reference.num_documents());
+      EXPECT_EQ(index.num_tokens(), reference.num_tokens());
+      EXPECT_EQ(index.num_postings(), reference.num_postings());
+      for (uint32_t doc = 0; doc < refs.size(); ++doc) {
+        size_t scored = 0;
+        size_t reference_scored = 0;
+        const auto candidates = index.Candidates(doc, 0.3, &scored);
+        const auto expected =
+            reference.Candidates(doc, 0.3, &reference_scored);
+        EXPECT_EQ(scored, reference_scored)
+            << threads << " threads, " << shards << " shards, doc " << doc;
+        ASSERT_EQ(candidates.size(), expected.size())
+            << threads << " threads, " << shards << " shards, doc " << doc;
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          EXPECT_EQ(candidates[i].doc_id, expected[i].doc_id);
+          EXPECT_EQ(candidates[i].score, expected[i].score);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(CoverDeterminism, PatchPairCoverageIdenticalAcrossThreadCounts) {
+  // The parallel totality patch: patched covers AND the PatchStats
+  // counters must be thread-count-independent, for the raw cover of
+  // either builder (raw covers leave the most split pairs to repair).
+  const auto dataset = MakeCorpus(GetParam());
+  for (const BlockingStrategy strategy :
+       {BlockingStrategy::kCanopy, BlockingStrategy::kLsh}) {
+    Cover raw;
+    if (strategy == BlockingStrategy::kCanopy) {
+      core::CanopyOptions options;
+      options.ensure_pair_coverage = false;
+      options.expand_boundary = false;
+      raw = core::BuildCanopyCover(*dataset, options);
+    } else {
+      blocking::LshCoverOptions options;
+      options.ensure_pair_coverage = false;
+      options.expand_boundary = false;
+      raw = blocking::BuildLshCover(*dataset, options);
+    }
+    ExecutionContext serial(1);
+    Cover reference = raw;
+    core::PatchStats reference_stats;
+    core::PatchPairCoverage(*dataset, reference, serial, &reference_stats);
+    EXPECT_TRUE(reference.CandidatePairCoverage(*dataset) == 1.0);
+    for (uint32_t threads : ThreadCounts()) {
+      ExecutionContext ctx(threads);
+      Cover patched = raw;
+      core::PatchStats stats;
+      core::PatchPairCoverage(*dataset, patched, ctx, &stats);
+      const std::string label = core::BlockingStrategyName(strategy) +
+                                std::string(", ") + std::to_string(threads) +
+                                " threads";
+      ExpectSameCover(reference, patched, label);
+      EXPECT_EQ(stats.pairs_patched, reference_stats.pairs_patched) << label;
+      EXPECT_EQ(stats.pairs_rechecked, reference_stats.pairs_rechecked)
+          << label;
     }
   }
 }

@@ -1,3 +1,4 @@
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -196,6 +197,56 @@ TEST(TokenIndexTest, SelfExcluded) {
   TokenIndex index;
   index.AddDocument(0, {"x"});
   EXPECT_TRUE(index.Candidates(0, 0.0).empty());
+}
+
+TEST(TokenIndexTest, ShardedAddDocumentMatchesSingleShard) {
+  const std::vector<std::vector<std::string>> docs = {
+      {"smi", "mit", "ith"}, {"smi", "mit", "itt"}, {"xyz", "SMI"}, {}};
+  TokenIndex single;
+  TokenIndex sharded(7);
+  for (uint32_t doc = 0; doc < docs.size(); ++doc) {
+    single.AddDocument(doc, docs[doc]);
+    sharded.AddDocument(doc, docs[doc]);
+  }
+  EXPECT_EQ(sharded.num_shards(), 7u);
+  EXPECT_EQ(sharded.num_tokens(), single.num_tokens());
+  EXPECT_EQ(sharded.num_postings(), single.num_postings());
+  for (uint32_t doc = 0; doc < docs.size(); ++doc) {
+    size_t single_scored = 0;
+    size_t sharded_scored = 0;
+    const auto expected = single.Candidates(doc, 0.0, &single_scored);
+    const auto actual = sharded.Candidates(doc, 0.0, &sharded_scored);
+    EXPECT_EQ(sharded_scored, single_scored);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].doc_id, expected[i].doc_id);
+      EXPECT_EQ(actual[i].score, expected[i].score);
+    }
+  }
+}
+
+TEST(TokenIndexTest, AddDocumentsMatchesSerialInsertion) {
+  const std::vector<std::vector<std::string>> docs = {
+      {"a", "b", "c"}, {"b", "c", "d"}, {"A", "a", "e"}, {"f"}};
+  TokenIndex serial;
+  for (uint32_t doc = 0; doc < docs.size(); ++doc) {
+    serial.AddDocument(doc, docs[doc]);
+  }
+  ExecutionContext ctx(3, /*num_shards=*/5);
+  TokenIndex bulk(ctx.num_token_shards());
+  bulk.AddDocuments(docs, ctx);
+  EXPECT_EQ(bulk.num_documents(), serial.num_documents());
+  EXPECT_EQ(bulk.num_tokens(), serial.num_tokens());
+  EXPECT_EQ(bulk.num_postings(), serial.num_postings());
+  for (uint32_t doc = 0; doc < docs.size(); ++doc) {
+    const auto expected = serial.Candidates(doc, 0.0);
+    const auto actual = bulk.Candidates(doc, 0.0);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].doc_id, expected[i].doc_id);
+      EXPECT_EQ(actual[i].score, expected[i].score);
+    }
+  }
 }
 
 }  // namespace
