@@ -11,6 +11,12 @@
 // noise-free across CI hosts; a counter that grew >15% means the algorithm
 // genuinely does more work, not that the machine was busy.
 //
+// Wall times ("wall_ms_<table>" keys, recorded by bench::JsonReport) are
+// additionally diffed when both reports carry them, but strictly
+// informationally: they never affect the exit code. This is the first step
+// toward a wall-time gate on a dedicated runner (see ROADMAP) — the deltas
+// become visible in every CI log without making the gate host-sensitive.
+//
 // A counter missing from the current report fails the gate (renames must
 // update the baseline deliberately); a counter present only in the current
 // report is printed as informational so new counters get blessed into the
@@ -35,11 +41,12 @@ struct Counter {
   double value;
 };
 
-/// Extracts `"counter_<...>": <number>` entries from our generated report
-/// format (flat scan; table cells never hold counter_ keys).
-std::vector<Counter> ParseCounters(const std::string& json) {
+/// Extracts `"<prefix><...>": <number>` entries from our generated report
+/// format (flat scan; table cells never hold counter_/wall_ms_ keys).
+std::vector<Counter> ParseMetrics(const std::string& json,
+                                  const std::string& prefix) {
   std::vector<Counter> out;
-  const std::string marker = "\"counter_";
+  const std::string marker = "\"" + prefix;
   size_t pos = 0;
   while ((pos = json.find(marker, pos)) != std::string::npos) {
     const size_t key_start = pos + 1;  // Past the opening quote.
@@ -160,8 +167,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::vector<Counter> baseline = ParseCounters(baseline_json);
-  const std::vector<Counter> current = ParseCounters(current_json);
+  const std::vector<Counter> baseline = ParseMetrics(baseline_json, "counter_");
+  const std::vector<Counter> current = ParseMetrics(current_json, "counter_");
+
+  // Wall-time deltas: informational only (host noise must never gate).
+  const std::vector<Counter> baseline_wall =
+      ParseMetrics(baseline_json, "wall_ms_");
+  const std::vector<Counter> current_wall =
+      ParseMetrics(current_json, "wall_ms_");
+  for (const Counter& now : current_wall) {
+    const Counter* base = Find(baseline_wall, now.key);
+    if (base == nullptr) {
+      std::printf("wall %s: %.6g ms (no baseline; informational)\n",
+                  now.key.c_str(), now.value);
+    } else if (base->value == 0.0) {
+      std::printf("wall %s: 0 -> %.6g ms (informational)\n", now.key.c_str(),
+                  now.value);
+    } else {
+      std::printf("wall %s: %.6g -> %.6g ms (%+.1f%%, informational)\n",
+                  now.key.c_str(), base->value, now.value,
+                  (now.value - base->value) / base->value * 100.0);
+    }
+  }
   if (baseline.empty()) {
     std::printf("bench_diff: no tracked counters in %s; nothing to gate\n",
                 files[0]);

@@ -21,6 +21,7 @@
 #include "eval/metrics.h"
 #include "util/logging.h"
 #include "util/table_writer.h"
+#include "util/timer.h"
 
 namespace cem::bench {
 
@@ -43,17 +44,30 @@ inline double Begin(const std::string& experiment_id,
 /// so the perf trajectory is diffable across PRs. Target directory comes
 /// from CEM_BENCH_JSON_DIR (default: current directory); set it to "off"
 /// to suppress the file.
+///
+/// Each table also records the wall time spent producing it (elapsed since
+/// the previous Table() call, or construction) as "wall_ms_<key>".
+/// Wall times are host-dependent and therefore informational only:
+/// bench_diff prints their deltas but never gates on them, and
+/// ci/update_baselines.sh strips them from the committed baselines (only
+/// the deterministic "counter_*" metrics gate).
 class JsonReport {
  public:
   /// `slug` should match the bench binary name, e.g. "fig3f_scaling".
   explicit JsonReport(std::string slug) : slug_(std::move(slug)) {}
 
-  /// Prints `table` to stdout and records it under `key` in the report.
+  /// Prints `table` to stdout and records it under `key` in the report,
+  /// together with the wall time this table's section took.
   void Table(const std::string& key, const TableWriter& table) {
+    const double wall_ms = section_timer_.ElapsedMillis();
+    section_timer_.Reset();
     table.Print(std::cout);
     std::ostringstream json;
     table.PrintJson(json);
     entries_.emplace_back(key, json.str());
+    std::ostringstream ms;
+    ms << wall_ms;
+    entries_.emplace_back("wall_ms_" + key, ms.str());
   }
 
   /// Records a scalar metric.
@@ -87,6 +101,8 @@ class JsonReport {
  private:
   std::string slug_;
   std::vector<std::pair<std::string, std::string>> entries_;
+  /// Wall clock of the current table section (reset by each Table()).
+  Timer section_timer_;
 };
 
 /// Raw pairwise P/R/F1 row for a match set (the MLN matcher applies no

@@ -45,9 +45,11 @@ echo "== ctest -L tier1"
 ctest --test-dir "${BUILD_DIR}" -L tier1 -j "${JOBS}" --output-on-failure
 
 echo "== ctest -L bench_smoke"
-# ablation_blocking is excluded here: the regression gate below runs the
-# same binary at the same scale (with JSON on), so one run covers both.
-ctest --test-dir "${BUILD_DIR}" -L bench_smoke -E bench_smoke_ablation_blocking \
+# ablation_blocking and bench_streaming are excluded here: the regression
+# gate below runs the same binaries at the same scale (with JSON on), so
+# one run covers both.
+ctest --test-dir "${BUILD_DIR}" -L bench_smoke \
+  -E "bench_smoke_ablation_blocking|bench_smoke_streaming" \
   -j "${JOBS}" --output-on-failure
 
 echo "== bench regression gate (tracked counters, >15% slowdown fails)"
@@ -62,6 +64,8 @@ rm -rf "${BENCH_JSON_DIR}"
 mkdir -p "${BENCH_JSON_DIR}"
 CEM_BENCH_SCALE=0.05 CEM_BENCH_JSON_DIR="${BENCH_JSON_DIR}" \
   "${BUILD_DIR}/ablation_blocking" > /dev/null
+CEM_BENCH_SCALE=0.05 CEM_BENCH_JSON_DIR="${BENCH_JSON_DIR}" \
+  "${BUILD_DIR}/bench_streaming" > /dev/null
 shopt -s nullglob
 compared=0
 for report in "${BENCH_JSON_DIR}"/BENCH_*.json; do

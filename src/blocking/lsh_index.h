@@ -51,6 +51,11 @@ class LshIndex {
                     const ExecutionContext& ctx);
 
   size_t num_documents() const { return doc_band_keys_.size(); }
+  /// Alias of num_documents(): the corpus size as this index sees it, O(1).
+  /// stream::IncrementalCover assigns arrival slots from this — callers
+  /// should never have to infer the live count from bucket contents.
+  size_t size() const { return num_documents(); }
+  bool empty() const { return doc_band_keys_.empty(); }
   size_t num_shards() const { return shards_.size(); }
 
   /// Number of distinct non-empty buckets across all bands.

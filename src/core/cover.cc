@@ -116,6 +116,59 @@ double Cover::CandidatePairCoverage(const data::Dataset& dataset) const {
          static_cast<double>(dataset.num_candidate_pairs());
 }
 
+const std::vector<uint32_t> CoverMembership::kEmptyHomes;
+
+CoverMembership::CoverMembership(const Cover& cover) {
+  for (size_t i = 0; i < cover.size(); ++i) {
+    for (data::EntityId e : cover.neighborhood(i).entities) {
+      Add(e, static_cast<uint32_t>(i));
+    }
+  }
+}
+
+bool CoverMembership::Together(data::EntityId a, data::EntityId b) const {
+  const auto it_a = entries_.find(a);
+  const auto it_b = entries_.find(b);
+  if (it_a == entries_.end() || it_b == entries_.end()) return false;
+  const std::vector<uint32_t>& ha = it_a->second.homes;
+  const std::vector<uint32_t>& hb = it_b->second.homes;
+  // Linear merge over two sorted lists (the historical representation
+  // scanned hb once per element of ha).
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ha.size() && j < hb.size()) {
+    if (ha[i] == hb[j]) return true;
+    if (ha[i] < hb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+uint32_t CoverMembership::FirstHome(data::EntityId e) const {
+  const auto it = entries_.find(e);
+  CEM_CHECK(it != entries_.end()) << "FirstHome of an uncovered entity";
+  return it->second.first_home;
+}
+
+const std::vector<uint32_t>& CoverMembership::HomesOf(data::EntityId e) const {
+  const auto it = entries_.find(e);
+  return it == entries_.end() ? kEmptyHomes : it->second.homes;
+}
+
+bool CoverMembership::Add(data::EntityId e, uint32_t n) {
+  auto [it, inserted] = entries_.try_emplace(e);
+  Entry& entry = it->second;
+  if (inserted) entry.first_home = n;
+  const auto pos =
+      std::lower_bound(entry.homes.begin(), entry.homes.end(), n);
+  if (pos != entry.homes.end() && *pos == n) return false;
+  entry.homes.insert(pos, n);
+  return true;
+}
+
 namespace {
 
 /// Candidate pairs speculatively checked per round. Constant (not derived
@@ -130,23 +183,9 @@ constexpr size_t kPatchChunk = 64;
 
 void PatchPairCoverage(const data::Dataset& dataset, Cover& cover,
                        const ExecutionContext& ctx, PatchStats* stats) {
-  std::unordered_map<data::EntityId, std::vector<size_t>> homes;
-  for (size_t i = 0; i < cover.size(); ++i) {
-    for (data::EntityId e : cover.neighborhood(i).entities) {
-      homes[e].push_back(i);
-    }
-  }
+  CoverMembership homes(cover);
   const auto together = [&homes](data::EntityId a, data::EntityId b) {
-    const auto it_a = homes.find(a);
-    const auto it_b = homes.find(b);
-    if (it_a == homes.end() || it_b == homes.end()) return false;
-    for (size_t ha : it_a->second) {
-      if (std::find(it_b->second.begin(), it_b->second.end(), ha) !=
-          it_b->second.end()) {
-        return true;
-      }
-    }
-    return false;
+    return homes.Together(a, b);
   };
 
   const std::vector<data::CandidatePair>& pairs = dataset.candidate_pairs();
@@ -166,9 +205,10 @@ void PatchPairCoverage(const data::Dataset& dataset, Cover& cover,
         split[i] = together(p.a, p.b) ? 0 : 1;
       }
     });
-    // Serial phase: replay the repairs in pair order. `homes` lists only
-    // grow (and repairs read homes_a.front(), which appends never move),
-    // so this is exactly the serial algorithm's outcome for every pair.
+    // Serial phase: replay the repairs in pair order. Membership only
+    // grows (and repairs target FirstHome(p.a), which later additions
+    // never change), so this is exactly the serial algorithm's outcome
+    // for every pair.
     bool dirty = false;
     for (size_t i = 0; i < len; ++i) {
       if (!split[i]) continue;
@@ -177,12 +217,10 @@ void PatchPairCoverage(const data::Dataset& dataset, Cover& cover,
         ++rechecked;
         if (together(p.a, p.b)) continue;
       }
-      const auto it_a = homes.find(p.a);
-      CEM_CHECK(it_a != homes.end() && !it_a->second.empty())
-          << "cover must contain every ref";
-      const size_t home = it_a->second.front();
+      CEM_CHECK(homes.Contains(p.a)) << "cover must contain every ref";
+      const uint32_t home = homes.FirstHome(p.a);
       cover.AddEntityTo(home, p.b);
-      homes[p.b].push_back(home);
+      homes.Add(p.b, home);
       ++patched;
       dirty = true;
     }

@@ -2,7 +2,9 @@
 #define CEM_CORE_COVER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "data/dataset.h"
@@ -73,6 +75,51 @@ class Cover {
 
  private:
   std::vector<Neighborhood> neighborhoods_;
+};
+
+/// Entity -> neighborhood membership of a cover (the patch passes' `homes`
+/// map), kept as sorted neighborhood-id vectors so the hot Together() probe
+/// is a linear merge instead of a nested linear scan. Also remembers each
+/// entity's *first* home — the repair target of PatchPairCoverage — which
+/// under the historical representation was the front of an append-only
+/// list, i.e. the lowest neighborhood index the entity was born with.
+///
+/// Shared by the batch patch pass and the streaming layer's incremental
+/// cover maintenance: both mutate a Cover through AddEntityTo and mirror
+/// the change here. Read methods are safe to call concurrently as long as
+/// no Add() runs (the speculative patch scans rely on this).
+class CoverMembership {
+ public:
+  /// Empty membership (streaming: the cover grows from nothing).
+  CoverMembership() = default;
+
+  /// Membership of an existing cover; neighborhoods are recorded in index
+  /// order, so FirstHome is each entity's lowest containing neighborhood.
+  explicit CoverMembership(const Cover& cover);
+
+  /// True if `e` belongs to at least one neighborhood.
+  bool Contains(data::EntityId e) const { return entries_.count(e) > 0; }
+
+  /// True if some neighborhood contains both `a` and `b`.
+  bool Together(data::EntityId a, data::EntityId b) const;
+
+  /// The first neighborhood `e` was ever recorded in (the patch passes'
+  /// repair target). `e` must be contained.
+  uint32_t FirstHome(data::EntityId e) const;
+
+  /// Sorted ids of the neighborhoods containing `e` (empty if none).
+  const std::vector<uint32_t>& HomesOf(data::EntityId e) const;
+
+  /// Records `e` in neighborhood `n`; returns true if the pair was new.
+  bool Add(data::EntityId e, uint32_t n);
+
+ private:
+  struct Entry {
+    uint32_t first_home = 0;
+    std::vector<uint32_t> homes;  // Sorted, unique.
+  };
+  std::unordered_map<data::EntityId, Entry> entries_;
+  static const std::vector<uint32_t> kEmptyHomes;
 };
 
 // --- totality patches -------------------------------------------------------

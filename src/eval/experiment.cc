@@ -8,6 +8,7 @@
 
 #include "blocking/lsh_cover.h"
 #include "util/logging.h"
+#include "util/random.h"
 #include "util/timer.h"
 
 namespace cem::eval {
@@ -140,6 +141,33 @@ double CostModelMatcher::ScoreDelta(
 
 double CostModelMatcher::charged_seconds() const {
   return static_cast<double>(charged_nanos_.load()) * 1e-9;
+}
+
+StreamingReplayResult ReplayStreaming(const core::Matcher& matcher,
+                                      uint64_t arrival_seed,
+                                      size_t chunk_size,
+                                      const stream::StreamingOptions& options) {
+  StreamingReplayResult result;
+  std::vector<data::EntityId> refs = matcher.dataset().author_refs();
+  Rng rng(arrival_seed);
+  rng.Shuffle(refs);
+  stream::StreamingMatcher streaming(matcher, options);
+  if (chunk_size == 0) {
+    for (data::EntityId ref : refs) {
+      streaming.Add(ref);
+      ++result.num_chunks;
+    }
+  } else {
+    for (size_t start = 0; start < refs.size(); start += chunk_size) {
+      const size_t end = std::min(refs.size(), start + chunk_size);
+      streaming.AddBatch({refs.begin() + start, refs.begin() + end});
+      ++result.num_chunks;
+    }
+  }
+  result.matches = streaming.matches();
+  result.stats = streaming.stats();
+  result.num_refs = refs.size();
+  return result;
 }
 
 SchemeResults RunAllSchemes(const core::Matcher& matcher,

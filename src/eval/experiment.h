@@ -13,6 +13,7 @@
 #include "core/message_passing.h"
 #include "data/bib_generator.h"
 #include "data/dataset.h"
+#include "stream/streaming_matcher.h"
 
 namespace cem::eval {
 
@@ -110,6 +111,27 @@ class CostModelMatcher : public core::ProbabilisticMatcher {
   double exponent_;
   mutable std::atomic<uint64_t> charged_nanos_{0};
 };
+
+/// Result of replaying a corpus through the streaming ingest subsystem.
+struct StreamingReplayResult {
+  /// The streamed fixpoint after the last chunk converged.
+  core::MatchSet matches;
+  /// Ingest + re-matching work counters (deterministic per arrival seed).
+  stream::StreamingStats stats;
+  size_t num_refs = 0;
+  size_t num_chunks = 0;
+};
+
+/// The streaming workload: replays the matcher's full corpus through a
+/// stream::StreamingMatcher in a seeded random arrival order, ingesting
+/// chunks of `chunk_size` references (0 = one at a time) and converging
+/// after each chunk. For a well-behaved matcher the returned matches equal
+/// a batch rebuild's RunSmp fixpoint for ANY arrival seed, chunk size,
+/// thread count and shard count — the streaming equivalence suite and
+/// bench_streaming pin exactly this against a batch build.
+StreamingReplayResult ReplayStreaming(
+    const core::Matcher& matcher, uint64_t arrival_seed, size_t chunk_size = 0,
+    const stream::StreamingOptions& options = {});
 
 /// Convenience: runs all three schemes plus (optionally) the FULL holistic
 /// run on a workload and returns per-scheme results, for the accuracy

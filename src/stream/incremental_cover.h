@@ -1,0 +1,164 @@
+#ifndef CEM_STREAM_INCREMENTAL_COVER_H_
+#define CEM_STREAM_INCREMENTAL_COVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "blocking/lsh_index.h"
+#include "blocking/minhash.h"
+#include "core/cover.h"
+#include "data/dataset.h"
+#include "util/execution_context.h"
+
+namespace cem::stream {
+
+/// Options of the incremental cover maintenance: the same MinHash/banding
+/// knobs as the batch LSH cover builder (blocking::LshCoverOptions), so the
+/// streamed cover searches the same "nearby" space the batch pipeline does.
+struct IncrementalCoverOptions {
+  /// MinHash signature scheme. num_hashes must hold lsh.bands * lsh.rows.
+  blocking::MinHashOptions minhash;
+  /// Banding parameters of the candidate lookup.
+  blocking::LshParams lsh;
+  /// A colliding reference joins a seed's neighborhood at estimated
+  /// Jaccard >= loose.
+  double loose = 0.20;
+  /// A reference covered by a seed at estimated Jaccard >= tight does not
+  /// become a seed itself.
+  double tight = 0.55;
+};
+
+/// Work counters of the ingest path. All counters are deterministic for a
+/// fixed arrival order — independent of thread and shard count — so the
+/// bench-regression gate can track them.
+struct IngestStats {
+  /// References inserted.
+  size_t inserts = 0;
+  /// Neighborhoods created (the live seed count).
+  size_t seeds_created = 0;
+  /// Neighborhoods whose membership an insert changed (the "dirty" set
+  /// handed to re-matching), summed over inserts — the headline amortized
+  /// work measure: mean touched per insert must stay far below the total
+  /// neighborhood count.
+  size_t canopies_touched = 0;
+  /// LSH bucket collisions scanned (candidate generation work).
+  size_t lsh_candidates_scanned = 0;
+  /// Split candidate pairs repaired into a shared neighborhood (the
+  /// streaming counterpart of PatchStats::pairs_patched).
+  size_t pairs_patched = 0;
+  /// Members added by Coauthor boundary maintenance.
+  size_t boundary_additions = 0;
+  /// Total (entity, neighborhood) memberships added.
+  size_t memberships_added = 0;
+};
+
+/// Incrementally maintained total cover over the *live* subset of a
+/// dataset's author references — the cover half of the streaming ingest
+/// subsystem. References arrive one at a time through Insert(); signatures
+/// and the sharded banded LSH index grow in place, and only the affected
+/// neighborhoods are patched, never rebuilt.
+///
+/// The maintained cover satisfies, at every point, the two totality
+/// properties the batch builders establish with their post-passes
+/// (Definition 7):
+///  * total w.r.t. Similar — every candidate pair between live references
+///    shares a neighborhood in which both endpoints are *core* members
+///    (canopy membership or pair repair, mirroring core::PatchPairCoverage);
+///  * boundary-expanded w.r.t. Coauthor — every live coauthor of a core
+///    member belongs to that member's neighborhoods (mirroring
+///    core::ExpandCoauthorBoundary, one round: boundary members do not
+///    recurse).
+/// Those two properties are what make the message-passing fixpoint agree
+/// with a batch rebuild (see streaming_matcher.h); the streamed cover is
+/// NOT bit-identical to the batch cover — it does not have to be.
+///
+/// Not thread-safe: Insert() calls must be serialised by the caller (the
+/// StreamingMatcher ingests serially; batch ingest parallelises signature
+/// computation, not the index/cover mutation).
+class IncrementalCover {
+ public:
+  /// `dataset` must be finalized with candidate pairs built and must
+  /// outlive this object. The LSH shard count comes from `ctx`.
+  IncrementalCover(const data::Dataset& dataset,
+                   const IncrementalCoverOptions& options,
+                   const ExecutionContext& ctx);
+
+  /// True if `ref` has been inserted.
+  bool is_live(data::EntityId ref) const { return slot_of_.count(ref) > 0; }
+
+  /// Number of live references (== the LSH index's document count).
+  size_t num_live() const { return index_.size(); }
+
+  /// The maintained cover. Neighborhood ids are stable: neighborhoods only
+  /// ever grow, none is ever removed.
+  const core::Cover& cover() const { return cover_; }
+
+  /// Largest neighborhood size (the paper's k), maintained O(1) so the
+  /// per-insert drain never rescans the whole cover for its safety cap.
+  size_t max_neighborhood_size() const { return max_neighborhood_size_; }
+
+  /// Sorted ids of the neighborhoods containing `e` (boundary members
+  /// included) — the streaming counterpart of core::NeighborIndex, used by
+  /// the matcher to re-activate neighborhoods affected by a new match.
+  const std::vector<uint32_t>& HomesOf(data::EntityId e) const {
+    return full_.HomesOf(e);
+  }
+
+  const IngestStats& stats() const { return stats_; }
+  const IncrementalCoverOptions& options() const { return options_; }
+
+  /// MinHash signature of `ref`'s blocking tokens. Pure (no state change):
+  /// batch ingest computes signatures for a whole chunk in parallel before
+  /// the serial inserts.
+  std::vector<uint64_t> ComputeSignature(data::EntityId ref) const;
+
+  /// Inserts a live reference with a precomputed signature and patches the
+  /// affected neighborhoods. `ref` must be an author reference of the
+  /// dataset, not yet live. Returns the ids of the neighborhoods whose
+  /// membership changed (sorted, unique; includes a newly created
+  /// neighborhood, if any) — the dirty set re-matching must re-enqueue.
+  std::vector<uint32_t> Insert(data::EntityId ref,
+                               std::vector<uint64_t> signature);
+
+  /// Convenience: computes the signature inline.
+  std::vector<uint32_t> Insert(data::EntityId ref) {
+    return Insert(ref, ComputeSignature(ref));
+  }
+
+ private:
+  /// Sentinel of seed_neighborhood_: this slot seeds no neighborhood.
+  static constexpr uint32_t kNoSeed = 0xffffffffu;
+
+  /// Adds `e` to neighborhood `n`. Core members (canopy/pair-repair) pull
+  /// their live coauthors in as boundary members — the incremental
+  /// ExpandCoauthorBoundary. Records changed neighborhoods in `dirty`.
+  void AddMember(uint32_t n, data::EntityId e, bool core,
+                 std::vector<uint32_t>& dirty);
+
+  const data::Dataset& dataset_;
+  IncrementalCoverOptions options_;
+  blocking::MinHasher hasher_;
+  blocking::LshIndex index_;
+  core::Cover cover_;
+  /// Core membership: canopy members and pair repairs — what the batch
+  /// patch pass sees. Pair-coverage decisions test this, never boundary
+  /// membership, mirroring the batch order (patch, then expand).
+  core::CoverMembership core_;
+  /// Full membership (core + boundary): what the cover actually contains.
+  core::CoverMembership full_;
+  /// slot -> reference id, in arrival order.
+  std::vector<data::EntityId> slots_;
+  std::unordered_map<data::EntityId, uint32_t> slot_of_;
+  /// slot -> MinHash signature.
+  std::vector<std::vector<uint64_t>> signatures_;
+  /// slot -> id of the neighborhood it seeds, or kNoSeed.
+  std::vector<uint32_t> seed_neighborhood_;
+  size_t max_neighborhood_size_ = 0;
+  IngestStats stats_;
+};
+
+}  // namespace cem::stream
+
+#endif  // CEM_STREAM_INCREMENTAL_COVER_H_

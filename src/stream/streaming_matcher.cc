@@ -1,0 +1,125 @@
+#include "stream/streaming_matcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace cem::stream {
+namespace {
+
+const ExecutionContext& Resolve(const StreamingOptions& options) {
+  return options.context != nullptr ? *options.context
+                                    : ExecutionContext::Default();
+}
+
+}  // namespace
+
+StreamingMatcher::StreamingMatcher(const core::Matcher& matcher,
+                                   const StreamingOptions& options)
+    : matcher_(matcher),
+      options_(options),
+      icover_(matcher.dataset(), options.cover, Resolve(options)) {}
+
+void StreamingMatcher::Activate(uint32_t n) {
+  if (n >= queued_.size()) queued_.resize(n + 1, 0);
+  if (queued_[n]) return;
+  queued_[n] = 1;
+  active_.push_back(n);
+}
+
+void StreamingMatcher::Add(data::EntityId ref) {
+  for (uint32_t n : icover_.Insert(ref)) Activate(n);
+  Drain();
+}
+
+void StreamingMatcher::AddBatch(const std::vector<data::EntityId>& refs) {
+  // Parallel phase: signatures of the whole chunk (references are
+  // independent, so the result does not depend on the thread count).
+  const ExecutionContext& ctx = Resolve(options_);
+  std::vector<std::vector<uint64_t>> signatures(refs.size());
+  ParallelFor(ctx.pool(), refs.size(), [&](size_t i) {
+    signatures[i] = icover_.ComputeSignature(refs[i]);
+  });
+  // Serial phase: index/cover updates replay in `refs` order, so the
+  // result is bit-identical to one-at-a-time ingest of the same order.
+  for (size_t i = 0; i < refs.size(); ++i) {
+    for (uint32_t n : icover_.Insert(refs[i], std::move(signatures[i]))) {
+      Activate(n);
+    }
+  }
+  Drain();
+}
+
+size_t StreamingMatcher::PairsInside(uint32_t n) const {
+  const data::Dataset& dataset = matcher_.dataset();
+  const std::vector<data::EntityId>& entities =
+      icover_.cover().neighborhood(n).entities;
+  size_t inside = 0;
+  for (data::EntityId e : entities) {
+    for (data::PairId id : dataset.PairsOfEntity(e)) {
+      const data::EntityPair& p = dataset.candidate_pair(id).pair;
+      if (p.a == e &&
+          std::binary_search(entities.begin(), entities.end(), p.b)) {
+        ++inside;
+      }
+    }
+  }
+  return inside;
+}
+
+void StreamingMatcher::Drain() {
+  const core::Cover& cover = icover_.cover();
+  // Safety cap, mirroring core::RunSmp: convergence is guaranteed for
+  // well-behaved matchers; the cap only guards buggy custom matchers.
+  // The incrementally maintained k keeps this O(1) per drain.
+  size_t cap = options_.max_evaluations;
+  if (cap == 0) {
+    const size_t k = icover_.max_neighborhood_size();
+    cap = cover.size() * std::max<size_t>(k * k, 16) + 64;
+  }
+  size_t evaluations = 0;
+  while (!active_.empty()) {
+    if (evaluations >= cap) {
+      CEM_LOG(Warning) << "streaming drain cap reached (" << cap
+                       << "); matcher may not be well-behaved";
+      break;
+    }
+    const uint32_t c = active_.front();
+    active_.pop_front();
+    queued_[c] = 0;
+    ++evaluations;
+    ++matching_stats_.neighborhood_evaluations;
+    ++matching_stats_.matcher_calls;
+    matching_stats_.pairs_rescored += PairsInside(c);
+    const core::MatchSet mc =
+        matcher_.Match(cover.neighborhood(c).entities, matches_);
+    const std::vector<data::EntityPair> new_matches =
+        mc.Difference(matches_);
+    if (new_matches.empty()) continue;
+    matches_.InsertAll(mc);
+    // Algorithm 1's Neighbor(.) rule: a new match (u, v) re-activates the
+    // neighborhoods containing both endpoints (evidence is conditioned on
+    // C x C). The just-run neighborhood is skipped: idempotence says it
+    // cannot add anything to its own output.
+    for (const data::EntityPair& p : new_matches) {
+      const std::vector<uint32_t>& ha = icover_.HomesOf(p.a);
+      const std::vector<uint32_t>& hb = icover_.HomesOf(p.b);
+      size_t i = 0;
+      size_t j = 0;
+      while (i < ha.size() && j < hb.size()) {
+        if (ha[i] == hb[j]) {
+          if (ha[i] != c) Activate(ha[i]);
+          ++i;
+          ++j;
+        } else if (ha[i] < hb[j]) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace cem::stream

@@ -1,0 +1,134 @@
+#ifndef CEM_STREAM_STREAMING_MATCHER_H_
+#define CEM_STREAM_STREAMING_MATCHER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/cover.h"
+#include "core/match_set.h"
+#include "core/matcher.h"
+#include "data/dataset.h"
+#include "stream/incremental_cover.h"
+#include "util/execution_context.h"
+
+namespace cem::stream {
+
+/// Options of the streaming front door.
+struct StreamingOptions {
+  /// Cover-maintenance knobs (MinHash/banding, loose/tight thresholds).
+  IncrementalCoverOptions cover;
+  /// Execution context: LSH shard count, and the pool batch ingest uses to
+  /// compute signatures in parallel. Null = ExecutionContext::Default().
+  /// Matches, cover and counters are bit-identical for any thread and
+  /// shard count (for a fixed arrival order).
+  const ExecutionContext* context = nullptr;
+  /// Safety cap on neighborhood evaluations per convergence drain
+  /// (0 = the theoretical n * k^2 bound, like core::MpOptions).
+  size_t max_evaluations = 0;
+};
+
+/// Counters of the matching side of the stream (the ingest side lives in
+/// IngestStats). Deterministic for a fixed arrival order.
+struct MatchingStats {
+  /// Dirty-neighborhood evaluations (pops of the persistent active set).
+  size_t neighborhood_evaluations = 0;
+  /// Black-box matcher invocations.
+  size_t matcher_calls = 0;
+  /// Candidate pairs presented to the matcher across re-evaluations (pairs
+  /// with both endpoints inside an evaluated neighborhood, counted per
+  /// evaluation) — the re-scoring work incremental matching amortizes.
+  size_t pairs_rescored = 0;
+};
+
+/// Combined work counters of a StreamingMatcher.
+struct StreamingStats {
+  IngestStats ingest;
+  MatchingStats matching;
+};
+
+/// Incremental entity matching — the streaming front door of the paper's
+/// cover-then-match architecture. Where the batch pipeline freezes the
+/// corpus, builds one cover and runs message passing once, a
+/// StreamingMatcher ingests references as they arrive: Add()/AddBatch()
+/// update MinHash signatures and the sharded LSH index in place, patch the
+/// affected neighborhoods of an incrementally maintained total cover
+/// (IncrementalCover), enqueue only the dirty neighborhoods, and propagate
+/// new matches through the message-passing activation discipline (the
+/// Neighbor(.) rule of Algorithm 1) until convergence.
+///
+/// Convergence guarantee: for a well-behaved matcher (idempotent +
+/// monotone, Definition 4), after every reference has been streamed — in
+/// ANY arrival order, on any thread/shard count — matches() equals the
+/// batch pipeline's RunSmp() fixpoint over a freshly built total cover.
+/// Two properties carry the argument: (1) the maintained cover is total
+/// w.r.t. Similar and boundary-expanded w.r.t. Coauthor at every point, so
+/// every candidate pair is eventually evaluated with its full one-hop
+/// relational context, which is all the shipped matchers' groundings see
+/// (the same reason canopy- and LSH-built covers yield identical match
+/// sets); (2) matches only ever grow, evaluations re-run whenever a
+/// neighborhood's membership or in-neighborhood evidence changes, and the
+/// active set drains to a fixpoint — the Simple Message Passing loop
+/// warm-started from sound evidence, which reaches the same fixpoint it
+/// would reach from scratch (Theorem 2). The streaming equivalence suite
+/// pins this end to end.
+///
+/// MMP-style maximal-message exchange is not streamed yet: the drain runs
+/// SMP semantics, so the batch reference point is RunSmp, not RunMmp.
+class StreamingMatcher {
+ public:
+  /// `matcher` decides matches and supplies the dataset; it must outlive
+  /// this object. The dataset must be finalized with candidate pairs
+  /// built (references "arrive" in the sense of becoming visible to
+  /// matching — attributes and relations are the dataset's).
+  explicit StreamingMatcher(const core::Matcher& matcher,
+                            const StreamingOptions& options = {});
+
+  /// Ingests one reference and re-matches to convergence.
+  void Add(data::EntityId ref);
+
+  /// Ingests a chunk: signatures are computed in parallel on the execution
+  /// context's pool, the index/cover updates apply serially in `refs`
+  /// order, and one convergence drain runs at the end — same final state
+  /// as Add() per element (order-invariance of the fixpoint), much less
+  /// re-matching.
+  void AddBatch(const std::vector<data::EntityId>& refs);
+
+  /// The matches over the live references, converged as of the last Add.
+  const core::MatchSet& matches() const { return matches_; }
+
+  /// The maintained cover (diagnostics; totality is a maintained
+  /// invariant, pinned by the streaming tests).
+  const core::Cover& cover() const { return icover_.cover(); }
+
+  size_t num_live() const { return icover_.num_live(); }
+  bool is_live(data::EntityId ref) const { return icover_.is_live(ref); }
+
+  StreamingStats stats() const {
+    return {icover_.stats(), matching_stats_};
+  }
+
+ private:
+  /// Marks a neighborhood active (set semantics, like Algorithm 1's A).
+  void Activate(uint32_t n);
+
+  /// Runs the SMP loop until the active set drains.
+  void Drain();
+
+  /// Candidate pairs fully inside neighborhood `n` (re-scoring work).
+  size_t PairsInside(uint32_t n) const;
+
+  const core::Matcher& matcher_;
+  StreamingOptions options_;
+  IncrementalCover icover_;
+  core::MatchSet matches_;
+  MatchingStats matching_stats_;
+  /// Persistent FIFO active set across Add() calls.
+  std::deque<uint32_t> active_;
+  std::vector<uint8_t> queued_;  // Grows with the cover.
+};
+
+}  // namespace cem::stream
+
+#endif  // CEM_STREAM_STREAMING_MATCHER_H_

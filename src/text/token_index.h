@@ -42,6 +42,11 @@ class TokenIndex {
 
   /// Number of documents added.
   size_t num_documents() const { return doc_token_counts_.size(); }
+  /// Alias of num_documents(): the corpus size as this index sees it, O(1),
+  /// mirroring blocking::LshIndex — callers should never have to infer it
+  /// from postings contents.
+  size_t size() const { return num_documents(); }
+  bool empty() const { return doc_token_counts_.empty(); }
 
   struct Neighbor {
     uint32_t doc_id;

@@ -139,6 +139,21 @@ TEST(LshIndex, IdenticalSignaturesAlwaysCollide) {
   EXPECT_EQ(index.Candidates(1), std::vector<uint32_t>{0});
 }
 
+TEST(LshIndex, SizeTracksIncrementalAdds) {
+  // The streaming layer assigns arrival slots from size(); it must be an
+  // O(1) running document count, not something inferred from buckets.
+  const MinHasher hasher;
+  LshIndex index(LshParams{32, 2}, hasher.num_hashes());
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.size(), 0u);
+  for (uint32_t doc = 0; doc < 17; ++doc) {
+    index.AddDocument(doc, hasher.Signature(Tokens(doc % 5, 8)));
+    EXPECT_EQ(index.size(), doc + 1u);
+    EXPECT_EQ(index.size(), index.num_documents());
+    EXPECT_FALSE(index.empty());
+  }
+}
+
 TEST(LshIndex, CandidatesAreSymmetricSortedAndSelfFree) {
   const MinHasher hasher;
   LshIndex index(LshParams{32, 2}, hasher.num_hashes());

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -223,6 +224,55 @@ TEST_P(CoverDeterminism, PatchPairCoverageIdenticalAcrossThreadCounts) {
           << label;
     }
   }
+}
+
+TEST_P(CoverDeterminism, PatchPairCoverageMatchesNaiveReference) {
+  // Pins the CoverMembership (sorted-vector) representation against the
+  // textbook serial algorithm it replaced: per-entity append-only home
+  // lists, nested linear Together scans, repairs into the front (first)
+  // home of the pair's first endpoint. Covers and the patched count must
+  // be bit-identical.
+  const auto dataset = MakeCorpus(GetParam());
+  blocking::LshCoverOptions options;
+  options.ensure_pair_coverage = false;
+  options.expand_boundary = false;
+  const Cover raw = blocking::BuildLshCover(*dataset, options);
+
+  Cover naive = raw;
+  size_t naive_patched = 0;
+  {
+    std::unordered_map<data::EntityId, std::vector<size_t>> homes;
+    for (size_t i = 0; i < naive.size(); ++i) {
+      for (data::EntityId e : naive.neighborhood(i).entities) {
+        homes[e].push_back(i);
+      }
+    }
+    const auto together = [&homes](data::EntityId a, data::EntityId b) {
+      const auto it_a = homes.find(a);
+      const auto it_b = homes.find(b);
+      if (it_a == homes.end() || it_b == homes.end()) return false;
+      for (size_t ha : it_a->second) {
+        for (size_t hb : it_b->second) {
+          if (ha == hb) return true;
+        }
+      }
+      return false;
+    };
+    for (const data::CandidatePair& cp : dataset->candidate_pairs()) {
+      if (together(cp.pair.a, cp.pair.b)) continue;
+      const size_t home = homes.at(cp.pair.a).front();
+      naive.AddEntityTo(home, cp.pair.b);
+      homes[cp.pair.b].push_back(home);
+      ++naive_patched;
+    }
+  }
+
+  Cover patched = raw;
+  core::PatchStats stats;
+  core::PatchPairCoverage(*dataset, patched, ExecutionContext::Default(),
+                          &stats);
+  ExpectSameCover(naive, patched, "naive reference");
+  EXPECT_EQ(stats.pairs_patched, naive_patched);
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, CoverDeterminism,

@@ -199,6 +199,20 @@ TEST(TokenIndexTest, SelfExcluded) {
   EXPECT_TRUE(index.Candidates(0, 0.0).empty());
 }
 
+TEST(TokenIndexTest, SizeTracksIncrementalAdds) {
+  // size()/empty() must be an O(1) running document count (the corpus size
+  // as the index sees it), never inferred from postings contents.
+  TokenIndex index;
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.size(), 0u);
+  index.AddDocument(0, {"a", "b"});
+  EXPECT_EQ(index.size(), 1u);
+  index.AddDocument(1, {});  // Token-free documents still count.
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_EQ(index.size(), index.num_documents());
+  EXPECT_FALSE(index.empty());
+}
+
 TEST(TokenIndexTest, ShardedAddDocumentMatchesSingleShard) {
   const std::vector<std::vector<std::string>> docs = {
       {"smi", "mit", "ith"}, {"smi", "mit", "itt"}, {"xyz", "SMI"}, {}};
