@@ -43,9 +43,12 @@ struct Counter {
 
 /// Extracts `"<prefix><...>": <number>` entries from our generated report
 /// format (flat scan; table cells never hold counter_/wall_ms_ keys).
-std::vector<Counter> ParseMetrics(const std::string& json,
-                                  const std::string& prefix) {
-  std::vector<Counter> out;
+/// Returns false (naming the key in `bad_key`) when a tracked key's value
+/// is not a scalar — a tracked metric that cannot be read is a malformed
+/// report, not a metric to skip: silently dropping it would disable its
+/// gate with exit code 0.
+bool ParseMetrics(const std::string& json, const std::string& prefix,
+                  std::vector<Counter>* out, std::string* bad_key) {
   const std::string marker = "\"" + prefix;
   size_t pos = 0;
   while ((pos = json.find(marker, pos)) != std::string::npos) {
@@ -60,10 +63,13 @@ std::vector<Counter> ParseMetrics(const std::string& json,
     }
     char* end = nullptr;
     const double value = std::strtod(json.c_str() + cursor, &end);
-    if (end == json.c_str() + cursor) continue;  // Not a scalar; skip.
-    out.push_back({json.substr(key_start, key_end - key_start), value});
+    if (end == json.c_str() + cursor) {
+      *bad_key = json.substr(key_start, key_end - key_start);
+      return false;
+    }
+    out->push_back({json.substr(key_start, key_end - key_start), value});
   }
-  return out;
+  return true;
 }
 
 bool ReadFile(const char* path, std::string* out) {
@@ -167,14 +173,32 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::vector<Counter> baseline = ParseMetrics(baseline_json, "counter_");
-  const std::vector<Counter> current = ParseMetrics(current_json, "counter_");
+  // Both prefixes go through the same format gate: a baseline whose
+  // wall_ms_ value fails to parse is exactly as malformed as one whose
+  // counter_ value does, and must exit 2 either way.
+  const auto parse = [](const std::string& json, const char* path,
+                        const std::string& prefix) {
+    std::vector<Counter> out;
+    std::string bad_key;
+    if (!ParseMetrics(json, prefix, &out, &bad_key)) {
+      std::fprintf(stderr,
+                   "bench_diff: %s: metric \"%s\" has a non-scalar value "
+                   "(malformed report; regenerate it)\n",
+                   path, bad_key.c_str());
+      std::exit(2);
+    }
+    return out;
+  };
+  const std::vector<Counter> baseline =
+      parse(baseline_json, files[0], "counter_");
+  const std::vector<Counter> current =
+      parse(current_json, files[1], "counter_");
 
   // Wall-time deltas: informational only (host noise must never gate).
   const std::vector<Counter> baseline_wall =
-      ParseMetrics(baseline_json, "wall_ms_");
+      parse(baseline_json, files[0], "wall_ms_");
   const std::vector<Counter> current_wall =
-      ParseMetrics(current_json, "wall_ms_");
+      parse(current_json, files[1], "wall_ms_");
   for (const Counter& now : current_wall) {
     const Counter* base = Find(baseline_wall, now.key);
     if (base == nullptr) {

@@ -45,11 +45,11 @@ echo "== ctest -L tier1"
 ctest --test-dir "${BUILD_DIR}" -L tier1 -j "${JOBS}" --output-on-failure
 
 echo "== ctest -L bench_smoke"
-# ablation_blocking and bench_streaming are excluded here: the regression
-# gate below runs the same binaries at the same scale (with JSON on), so
-# one run covers both.
+# ablation_blocking, bench_streaming and bench_persist are excluded here:
+# the regression gate below runs the same binaries at the same scale (with
+# JSON on), so one run covers both.
 ctest --test-dir "${BUILD_DIR}" -L bench_smoke \
-  -E "bench_smoke_ablation_blocking|bench_smoke_streaming" \
+  -E "bench_smoke_ablation_blocking|bench_smoke_streaming|bench_smoke_persist" \
   -j "${JOBS}" --output-on-failure
 
 echo "== bench regression gate (tracked counters, >15% slowdown fails)"
@@ -66,6 +66,8 @@ CEM_BENCH_SCALE=0.05 CEM_BENCH_JSON_DIR="${BENCH_JSON_DIR}" \
   "${BUILD_DIR}/ablation_blocking" > /dev/null
 CEM_BENCH_SCALE=0.05 CEM_BENCH_JSON_DIR="${BENCH_JSON_DIR}" \
   "${BUILD_DIR}/bench_streaming" > /dev/null
+CEM_BENCH_SCALE=0.05 CEM_BENCH_JSON_DIR="${BENCH_JSON_DIR}" \
+  "${BUILD_DIR}/bench_persist" > /dev/null
 shopt -s nullglob
 compared=0
 for report in "${BENCH_JSON_DIR}"/BENCH_*.json; do
@@ -105,6 +107,15 @@ if [[ "${CEM_CI_SKIP_ASAN:-0}" != "1" ]]; then
 
   echo "== ASAN ctest -L tier1"
   ctest --test-dir "${ASAN_BUILD_DIR}" -L tier1 -j "${JOBS}" --output-on-failure
+
+  # The crash-recovery suite is the one place the code deliberately reads
+  # torn, flipped and truncated bytes back in; re-run it on its own under
+  # ASAN (binaries invoked directly — ctest's discovered names are
+  # Suite.Case and would not match a -R on the binary name) so a decoder
+  # overrun can never hide behind a flaky tier-1 shard.
+  echo "== ASAN crash-recovery suite"
+  "${ASAN_BUILD_DIR}/persist_test"
+  "${ASAN_BUILD_DIR}/crash_recovery_test"
 fi
 
 if [[ "${CEM_CI_SKIP_TSAN:-0}" != "1" ]]; then

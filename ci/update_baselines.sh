@@ -22,7 +22,7 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 echo "== configure + build bench binaries (${BUILD_DIR})"
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCEM_WERROR=ON > /dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-  --target bench_ablation_blocking bench_bench_streaming
+  --target bench_ablation_blocking bench_bench_streaming bench_bench_persist
 
 echo "== run benches at CEM_BENCH_SCALE=${SCALE}"
 TMP_DIR="$(mktemp -d)"
@@ -31,6 +31,8 @@ CEM_BENCH_SCALE="${SCALE}" CEM_BENCH_JSON_DIR="${TMP_DIR}" \
   "${BUILD_DIR}/ablation_blocking" > /dev/null
 CEM_BENCH_SCALE="${SCALE}" CEM_BENCH_JSON_DIR="${TMP_DIR}" \
   "${BUILD_DIR}/bench_streaming" > /dev/null
+CEM_BENCH_SCALE="${SCALE}" CEM_BENCH_JSON_DIR="${TMP_DIR}" \
+  "${BUILD_DIR}/bench_persist" > /dev/null
 
 mkdir -p "${BASELINE_DIR}"
 for report in "${TMP_DIR}"/BENCH_*.json; do

@@ -6,6 +6,7 @@
 //              [--machines N] [--generate hepth|dblp] [--scale S]
 //              [--blocking canopy|lsh] [--threads N]
 //              [--stream] [--stream-chunk N] [--arrival-seed S]
+//              [--snapshot-dir DIR] [--snapshot-every N] [--recover]
 //
 // Reads a TSV corpus (see data/tsv_io.h; --generate synthesises one
 // instead), builds candidate pairs and a total cover, runs the chosen
@@ -17,13 +18,23 @@
 // stream::StreamingMatcher (chunked AddBatch ingest), the result is
 // checked for equivalence against the batch SMP run, and the per-insert
 // work counters are printed.
+//
+// --snapshot-dir (default: the CEM_SNAPSHOT_DIR environment variable)
+// makes the streamed run durable: every chunk is WAL-appended before it
+// is applied and a snapshot is taken every --snapshot-every inserts (see
+// persist/recovery.h). --recover resumes from the directory's state —
+// newest complete snapshot plus WAL tail — and streams only the
+// references that were not yet ingested; the recovered run converges to
+// the same matches as an uninterrupted one.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "blocking/lsh_cover.h"
 #include "core/grid_executor.h"
@@ -33,8 +44,10 @@
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "mln/mln_matcher.h"
+#include "persist/recovery.h"
 #include "rules/rules_matcher.h"
 #include "stream/streaming_matcher.h"
+#include "util/random.h"
 #include "util/timer.h"
 
 namespace {
@@ -60,6 +73,16 @@ struct Args {
   uint32_t stream_chunk = 64;
   /// Seed of the random arrival order in --stream mode.
   uint64_t arrival_seed = 1;
+  /// Durable state directory for --stream (empty = no persistence).
+  /// Defaults from CEM_SNAPSHOT_DIR so deployments can set it globally.
+  std::string snapshot_dir = [] {
+    const char* env = std::getenv("CEM_SNAPSHOT_DIR");
+    return std::string(env == nullptr ? "" : env);
+  }();
+  /// Auto-snapshot interval in inserts (0 = WAL only).
+  size_t snapshot_every = 4096;
+  /// Resume from --snapshot-dir state instead of starting fresh.
+  bool recover = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -118,6 +141,17 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--arrival-seed");
       if (!v) return false;
       args->arrival_seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (!std::strcmp(argv[i], "--snapshot-dir")) {
+      const char* v = next("--snapshot-dir");
+      if (!v) return false;
+      args->snapshot_dir = v;
+    } else if (!std::strcmp(argv[i], "--snapshot-every")) {
+      const char* v = next("--snapshot-every");
+      if (!v) return false;
+      const long long parsed = std::atoll(v);
+      args->snapshot_every = parsed > 0 ? static_cast<size_t>(parsed) : 0;
+    } else if (!std::strcmp(argv[i], "--recover")) {
+      args->recover = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return false;
@@ -198,14 +232,73 @@ int main(int argc, char** argv) {
     }
     stream::StreamingOptions options;
     options.context = &ctx;
-    const eval::StreamingReplayResult replay = eval::ReplayStreaming(
-        *matcher, args.arrival_seed, args.stream_chunk, options);
-    matches = replay.matches;
-    const stream::StreamingStats& s = replay.stats;
+    size_t num_refs = 0;
+    size_t num_chunks = 0;
+    stream::StreamingStats s;
+    if (!args.snapshot_dir.empty()) {
+      // Durable ingest: WAL-ahead chunks plus periodic snapshots. The
+      // arrival order is the same seeded shuffle ReplayStreaming uses, so
+      // a recovered run continues the exact stream a crashed one fed.
+      std::vector<data::EntityId> refs = dataset->author_refs();
+      Rng rng(args.arrival_seed);
+      rng.Shuffle(refs);
+      persist::PersistentStreamingMatcher persistent(
+          *matcher, options,
+          {args.snapshot_dir, args.snapshot_every, nullptr});
+      if (args.recover) {
+        persist::RecoveryInfo info;
+        const Status recovered = persistent.Recover(&info);
+        if (!recovered.ok()) {
+          std::fprintf(stderr, "recovery from %s failed: %s\n",
+                       args.snapshot_dir.c_str(),
+                       recovered.ToString().c_str());
+          return 1;
+        }
+        std::printf(
+            "recovered %zu inserts from %s (%s at %zu inserts, %zu WAL "
+            "chunks replayed, %zu snapshot(s) skipped%s)\n",
+            info.inserts_recovered, args.snapshot_dir.c_str(),
+            info.used_snapshot ? "snapshot" : "no snapshot",
+            info.snapshot_inserts, info.chunks_replayed,
+            info.snapshots_skipped,
+            info.wal_tail_truncated ? ", torn WAL tail dropped" : "");
+      } else {
+        const Status started = persistent.Start();
+        if (!started.ok()) {
+          std::fprintf(stderr, "cannot start persisted stream: %s\n",
+                       started.ToString().c_str());
+          return 1;
+        }
+      }
+      const size_t chunk =
+          args.stream_chunk == 0 ? 1 : args.stream_chunk;
+      for (size_t start = persistent.num_live(); start < refs.size();
+           start += chunk) {
+        const size_t end = std::min(refs.size(), start + chunk);
+        const Status added = persistent.AddBatch(
+            {refs.begin() + start, refs.begin() + end});
+        if (!added.ok()) {
+          std::fprintf(stderr, "ingest failed at insert %zu: %s\n", start,
+                       added.ToString().c_str());
+          return 1;
+        }
+        ++num_chunks;
+      }
+      matches = persistent.matcher().matches();
+      s = persistent.matcher().stats();
+      num_refs = refs.size();
+    } else {
+      const eval::StreamingReplayResult replay = eval::ReplayStreaming(
+          *matcher, args.arrival_seed, args.stream_chunk, options);
+      matches = replay.matches;
+      s = replay.stats;
+      num_refs = replay.num_refs;
+      num_chunks = replay.num_chunks;
+    }
     std::printf(
         "streamed %zu refs in %zu chunks (chunk %u, arrival seed %llu) "
         "in %.2fs\n",
-        replay.num_refs, replay.num_chunks, args.stream_chunk,
+        num_refs, num_chunks, args.stream_chunk,
         static_cast<unsigned long long>(args.arrival_seed),
         timer.ElapsedSeconds());
     if (s.ingest.inserts > 0) {

@@ -90,6 +90,24 @@ void LshIndex::AddDocuments(
   });
 }
 
+void LshIndex::RestoreSnapshot(
+    std::vector<BucketMap> buckets,
+    const std::vector<std::vector<uint64_t>>& signatures,
+    const ExecutionContext& ctx) {
+  CEM_CHECK(doc_band_keys_.empty()) << "RestoreSnapshot on a non-empty index";
+  CEM_CHECK(buckets.size() == shards_.size())
+      << "restored bucket maps must match the shard count";
+  doc_band_keys_.resize(signatures.size());
+  ParallelFor(ctx.pool(), signatures.size(), [&](size_t doc) {
+    CEM_CHECK(signatures[doc].size() == num_hashes_)
+        << "signature length mismatch with the index configuration";
+    doc_band_keys_[doc] = BandKeys(signatures[doc]);
+  });
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].buckets = std::move(buckets[s]);
+  }
+}
+
 std::vector<uint32_t> LshIndex::Candidates(uint32_t doc_id) const {
   CEM_CHECK(doc_id < doc_band_keys_.size());
   std::vector<uint32_t> out;

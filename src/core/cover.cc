@@ -169,6 +169,40 @@ bool CoverMembership::Add(data::EntityId e, uint32_t n) {
   return true;
 }
 
+std::vector<MembershipEntry> CoverMembership::SortedEntries() const {
+  std::vector<MembershipEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [entity, entry] : entries_) {
+    out.push_back({entity, entry.first_home, entry.homes});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MembershipEntry& a, const MembershipEntry& b) {
+              return a.entity < b.entity;
+            });
+  return out;
+}
+
+CoverMembership CoverMembership::FromEntries(
+    std::vector<MembershipEntry> entries) {
+  CoverMembership membership;
+  membership.entries_.reserve(entries.size());
+  for (MembershipEntry& e : entries) {
+    CEM_CHECK(std::is_sorted(e.homes.begin(), e.homes.end()) &&
+              std::adjacent_find(e.homes.begin(), e.homes.end()) ==
+                  e.homes.end())
+        << "membership homes must be sorted and unique";
+    CEM_CHECK(std::binary_search(e.homes.begin(), e.homes.end(),
+                                 e.first_home))
+        << "first_home must be one of the homes";
+    auto [it, inserted] = membership.entries_.try_emplace(e.entity);
+    CEM_CHECK(inserted) << "duplicate membership entry for entity "
+                        << e.entity;
+    it->second.first_home = e.first_home;
+    it->second.homes = std::move(e.homes);
+  }
+  return membership;
+}
+
 namespace {
 
 /// Candidate pairs speculatively checked per round. Constant (not derived

@@ -77,6 +77,19 @@ class Cover {
   std::vector<Neighborhood> neighborhoods_;
 };
 
+/// One entity's row of a CoverMembership, in serializable form: the
+/// persistence layer saves and restores memberships through these (the
+/// first-home repair target is real state — it is not derivable from the
+/// sorted homes once later neighborhoods have grown around the entity).
+struct MembershipEntry {
+  data::EntityId entity = 0;
+  uint32_t first_home = 0;
+  std::vector<uint32_t> homes;  // Sorted, unique.
+
+  friend bool operator==(const MembershipEntry&,
+                         const MembershipEntry&) = default;
+};
+
 /// Entity -> neighborhood membership of a cover (the patch passes' `homes`
 /// map), kept as sorted neighborhood-id vectors so the hot Together() probe
 /// is a linear merge instead of a nested linear scan. Also remembers each
@@ -112,6 +125,17 @@ class CoverMembership {
 
   /// Records `e` in neighborhood `n`; returns true if the pair was new.
   bool Add(data::EntityId e, uint32_t n);
+
+  /// Number of entities with at least one home.
+  size_t num_entities() const { return entries_.size(); }
+
+  /// Every entity's row, sorted by entity id — the serializable view of
+  /// the whole membership (deterministic bytes for the snapshot format).
+  std::vector<MembershipEntry> SortedEntries() const;
+
+  /// Rebuilds a membership from SortedEntries() output. Entries must name
+  /// each entity once with sorted unique homes containing first_home.
+  static CoverMembership FromEntries(std::vector<MembershipEntry> entries);
 
  private:
   struct Entry {

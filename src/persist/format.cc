@@ -1,0 +1,52 @@
+#include "persist/format.h"
+
+#include <cstdio>
+
+namespace cem::persist {
+
+StateFingerprint StateFingerprint::Of(
+    const data::Dataset& dataset,
+    const stream::IncrementalCoverOptions& options) {
+  StateFingerprint fp;
+  fp.dataset_entities = dataset.num_entities();
+  fp.dataset_pairs = dataset.num_candidate_pairs();
+  fp.num_hashes = options.minhash.num_hashes;
+  fp.minhash_seed = options.minhash.seed;
+  fp.bands = options.lsh.bands;
+  fp.rows = options.lsh.rows;
+  fp.loose = options.loose;
+  fp.tight = options.tight;
+  return fp;
+}
+
+void StateFingerprint::AppendTo(io::Buffer& buffer) const {
+  buffer.PutU64(dataset_entities);
+  buffer.PutU64(dataset_pairs);
+  buffer.PutU32(num_hashes);
+  buffer.PutU64(minhash_seed);
+  buffer.PutU32(bands);
+  buffer.PutU32(rows);
+  buffer.PutDouble(loose);
+  buffer.PutDouble(tight);
+}
+
+StateFingerprint StateFingerprint::ReadFrom(io::Cursor& cursor) {
+  StateFingerprint fp;
+  fp.dataset_entities = cursor.GetU64();
+  fp.dataset_pairs = cursor.GetU64();
+  fp.num_hashes = cursor.GetU32();
+  fp.minhash_seed = cursor.GetU64();
+  fp.bands = cursor.GetU32();
+  fp.rows = cursor.GetU32();
+  fp.loose = cursor.GetDouble();
+  fp.tight = cursor.GetDouble();
+  return fp;
+}
+
+std::string SnapshotDirName(size_t inserts) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "snap_%012zu", inserts);
+  return name;
+}
+
+}  // namespace cem::persist

@@ -1,0 +1,133 @@
+#include "persist/wal.h"
+
+#include <utility>
+
+namespace cem::persist {
+namespace {
+
+// Record-type tags (first payload byte of every WAL record).
+constexpr uint8_t kHeaderRecord = 1;
+constexpr uint8_t kChunkRecord = 2;
+
+}  // namespace
+
+WalWriter::WalWriter(std::string path, io::FaultPlan* faults)
+    : path_(std::move(path)), faults_(faults) {}
+
+Status WalWriter::Create(const StateFingerprint& fingerprint) {
+  file_ = std::make_unique<io::FileWriter>(path_, faults_);
+  io::Buffer prefix;
+  prefix.PutBytes(kWalMagic);
+  prefix.PutU32(kWalVersion);
+  CEM_RETURN_IF_ERROR(file_->Write(prefix.bytes()));
+  io::Buffer header;
+  header.PutU8(kHeaderRecord);
+  fingerprint.AppendTo(header);
+  CEM_RETURN_IF_ERROR(io::WriteRecord(*file_, header.bytes()));
+  return file_->Flush();
+}
+
+Status WalWriter::OpenForAppend() {
+  file_ = std::make_unique<io::FileWriter>(path_, faults_,
+                                           io::FileWriter::Mode::kAppend);
+  if (!file_->ok()) {
+    return InternalError("cannot reopen WAL " + path_ + " for append");
+  }
+  return OkStatus();
+}
+
+Status WalWriter::AppendChunk(const std::vector<data::EntityId>& refs) {
+  if (file_ == nullptr) {
+    return FailedPreconditionError("WAL not open (Create/OpenForAppend)");
+  }
+  if (refs.empty()) return InvalidArgumentError("empty WAL chunk");
+  io::Buffer payload;
+  payload.PutU8(kChunkRecord);
+  payload.PutU32(static_cast<uint32_t>(refs.size()));
+  for (data::EntityId ref : refs) payload.PutU32(ref);
+  CEM_RETURN_IF_ERROR(io::WriteRecord(*file_, payload.bytes()));
+  return file_->Flush();
+}
+
+Result<WalContents> ReadWal(const std::string& path,
+                            const StateFingerprint& fingerprint) {
+  WalContents contents;
+  std::string bytes;
+  const Status read = io::ReadFile(path, &bytes);
+  if (read.code() == StatusCode::kNotFound) return contents;  // Empty.
+  CEM_RETURN_IF_ERROR(read);
+
+  if (bytes.size() < 12) {
+    // Crash while writing the prefix: nothing was ever applied.
+    contents.torn_tail = !bytes.empty();
+    return contents;
+  }
+  const std::string_view view(bytes);
+  if (view.substr(0, 8) != kWalMagic) {
+    return InvalidArgumentError(path + ": bad magic");
+  }
+  io::Cursor version_cursor(view.substr(8, 4));
+  const uint32_t version = version_cursor.GetU32();
+  if (version == 0 || version > kWalVersion) {
+    return InvalidArgumentError(path + ": unsupported WAL version " +
+                                std::to_string(version));
+  }
+
+  size_t pos = 12;
+  std::string_view payload;
+  // Header record first; torn here = crash during Create (recreate).
+  switch (io::ReadRecord(view, &pos, &payload)) {
+    case io::RecordVerdict::kRecord:
+      break;
+    case io::RecordVerdict::kEndOfStream:
+    case io::RecordVerdict::kTorn:
+      contents.torn_tail = pos < bytes.size() || bytes.size() > 12;
+      return contents;
+  }
+  {
+    io::Cursor header(payload);
+    if (header.GetU8() != kHeaderRecord) {
+      return InvalidArgumentError(path + ": first record is not a header");
+    }
+    const StateFingerprint stored = StateFingerprint::ReadFrom(header);
+    if (!header.AtEnd()) {
+      return InvalidArgumentError(path + ": malformed header record");
+    }
+    if (stored != fingerprint) {
+      return InvalidArgumentError(
+          path + ": fingerprint mismatch (WAL belongs to a different "
+                 "dataset or option set)");
+    }
+  }
+  contents.header_valid = true;
+  contents.valid_bytes = pos;
+
+  // Chunk records until a clean end or a torn tail. A checksum failure
+  // anywhere drops that record and everything after it — frames cannot be
+  // resynchronised past a damaged length field.
+  for (;;) {
+    const io::RecordVerdict verdict = io::ReadRecord(view, &pos, &payload);
+    if (verdict == io::RecordVerdict::kEndOfStream) break;
+    if (verdict == io::RecordVerdict::kTorn) {
+      contents.torn_tail = true;
+      break;
+    }
+    io::Cursor chunk(payload);
+    if (chunk.GetU8() != kChunkRecord) {
+      return InvalidArgumentError(path + ": unexpected record type");
+    }
+    const uint32_t count = chunk.GetU32();
+    std::vector<data::EntityId> refs;
+    refs.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) refs.push_back(chunk.GetU32());
+    if (!chunk.AtEnd() || refs.empty()) {
+      return InvalidArgumentError(path + ": malformed chunk record");
+    }
+    contents.num_inserts += refs.size();
+    contents.chunks.push_back(std::move(refs));
+    contents.valid_bytes = pos;
+  }
+  return contents;
+}
+
+}  // namespace cem::persist

@@ -1,0 +1,85 @@
+#ifndef CEM_PERSIST_WAL_H_
+#define CEM_PERSIST_WAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/entity.h"
+#include "persist/format.h"
+#include "util/io.h"
+#include "util/status.h"
+
+namespace cem::persist {
+
+/// Append-only ingest write-ahead log. File layout: the 8-byte kWalMagic +
+/// u32 version prefix, then framed checksummed records (util/io.h) — record
+/// 0 is a header carrying the StateFingerprint, every further record is one
+/// ingested chunk (the refs of one Add/AddBatch call, in order).
+///
+/// Chunk records are written and flushed BEFORE the chunk is applied to the
+/// in-memory state (true write-ahead). That makes every recoverable insert
+/// count a chunk boundary, so replaying the surviving chunks through
+/// AddBatch reproduces the exact convergence-drain boundaries of the
+/// original run — which is what makes the recovered *work counters*, not
+/// just the matches, bit-identical (the crash-recovery tests pin this).
+///
+/// The 12-byte magic/version prefix is deliberately not fault-tolerant: a
+/// file of >= 12 bytes whose prefix does not parse is indistinguishable
+/// from a wrong file and surfaces as an error, never as a silent empty
+/// recovery. A file shorter than the prefix is a crash during creation
+/// (nothing was ever applied) and reads as empty with header_valid false.
+class WalWriter {
+ public:
+  /// `faults` may be null and must outlive the writer.
+  explicit WalWriter(std::string path, io::FaultPlan* faults = nullptr);
+
+  /// Creates/truncates the file and writes the prefix + header record.
+  Status Create(const StateFingerprint& fingerprint);
+
+  /// Continues an existing WAL whose bytes end at a record boundary
+  /// (recovery truncates any torn tail before calling this).
+  Status OpenForAppend();
+
+  /// Appends one chunk record and flushes it — the durability point: once
+  /// this returns OK the chunk survives any later crash. Call before
+  /// applying the chunk (write-ahead). `refs` may not be empty.
+  Status AppendChunk(const std::vector<data::EntityId>& refs);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  io::FaultPlan* faults_;
+  std::unique_ptr<io::FileWriter> file_;
+};
+
+/// What a WAL scan recovered.
+struct WalContents {
+  /// The surviving whole chunks, in append order.
+  std::vector<std::vector<data::EntityId>> chunks;
+  /// Sum of chunk sizes.
+  size_t num_inserts = 0;
+  /// Byte length of the valid prefix (prefix + header + whole records);
+  /// recovery truncates the file to this before reopening for append.
+  uint64_t valid_bytes = 0;
+  /// True when bytes past valid_bytes failed to parse (torn final record
+  /// from a crash, or a flipped byte caught by a record checksum). Not an
+  /// error: the valid prefix is what recovery replays.
+  bool torn_tail = false;
+  /// False when the file is missing or ends inside the prefix/header —
+  /// a crash during creation. Recovery recreates the WAL from scratch.
+  bool header_valid = false;
+};
+
+/// Scans the WAL at `path`. A missing file, or one torn before the header
+/// record completed, reads as empty with header_valid false. A parseable
+/// file whose fingerprint disagrees with `fingerprint`, whose magic is
+/// wrong, or whose version is newer than this reader returns an error —
+/// those mean "wrong state directory", not "crashed mid-write".
+Result<WalContents> ReadWal(const std::string& path,
+                            const StateFingerprint& fingerprint);
+
+}  // namespace cem::persist
+
+#endif  // CEM_PERSIST_WAL_H_

@@ -50,6 +50,75 @@ void IncrementalCover::AddMember(uint32_t n, data::EntityId e, bool core,
   }
 }
 
+Status IncrementalCover::RestoreState(IncrementalCoverState state,
+                                      const ExecutionContext& ctx) {
+  if (num_live() != 0 || !cover_.empty()) {
+    return FailedPreconditionError(
+        "RestoreState needs a freshly constructed IncrementalCover");
+  }
+  // Structural validation up front: a snapshot passes file checksums before
+  // it gets here, so failures mean a format/logic bug (or hand-built
+  // state), and the error must surface as a skippable status — recovery
+  // falls back to an older snapshot — never a crash.
+  const size_t n = state.slots.size();
+  if (state.signatures.size() != n || state.seed_neighborhoods.size() != n ||
+      state.stats.inserts != n) {
+    return InvalidArgumentError("inconsistent slot-indexed state sizes");
+  }
+  for (size_t slot = 0; slot < n; ++slot) {
+    const data::EntityId ref = state.slots[slot];
+    if (ref >= dataset_.num_entities() ||
+        dataset_.entity(ref).type != data::EntityType::kAuthorRef) {
+      return InvalidArgumentError("slot holds a non-author-ref entity");
+    }
+    if (state.signatures[slot].size() != hasher_.num_hashes()) {
+      return InvalidArgumentError("signature length mismatch");
+    }
+    const uint32_t seed = state.seed_neighborhoods[slot];
+    if (seed != kNoSeed && seed >= state.neighborhoods.size()) {
+      return InvalidArgumentError("seed neighborhood out of range");
+    }
+  }
+  size_t cover_memberships = 0;
+  for (const std::vector<data::EntityId>& members : state.neighborhoods) {
+    cover_memberships += members.size();
+  }
+  size_t full_memberships = 0;
+  for (const core::MembershipEntry& e : state.full_entries) {
+    full_memberships += e.homes.size();
+  }
+  if (full_memberships != cover_memberships) {
+    return InvalidArgumentError("full membership disagrees with the cover");
+  }
+  if (!state.lsh_buckets.empty() &&
+      state.lsh_buckets.size() != index_.num_shards()) {
+    return InvalidArgumentError("LSH bucket shard-count mismatch");
+  }
+
+  slots_ = std::move(state.slots);
+  signatures_ = std::move(state.signatures);
+  seed_neighborhood_ = std::move(state.seed_neighborhoods);
+  slot_of_.reserve(n);
+  for (uint32_t slot = 0; slot < n; ++slot) {
+    if (!slot_of_.emplace(slots_[slot], slot).second) {
+      return InvalidArgumentError("reference appears in two slots");
+    }
+  }
+  if (state.lsh_buckets.empty()) {
+    index_.AddDocuments(signatures_, ctx);
+  } else {
+    index_.RestoreSnapshot(std::move(state.lsh_buckets), signatures_, ctx);
+  }
+  for (std::vector<data::EntityId>& members : state.neighborhoods) {
+    cover_.Add(std::move(members));
+  }
+  core_ = core::CoverMembership::FromEntries(std::move(state.core_entries));
+  full_ = core::CoverMembership::FromEntries(std::move(state.full_entries));
+  max_neighborhood_size_ = cover_.MaxNeighborhoodSize();
+  stats_ = state.stats;
+  return OkStatus();
+}
+
 std::vector<uint32_t> IncrementalCover::Insert(
     data::EntityId ref, std::vector<uint64_t> signature) {
   CEM_CHECK(dataset_.entity(ref).type == data::EntityType::kAuthorRef)

@@ -11,6 +11,7 @@
 #include "core/cover.h"
 #include "data/dataset.h"
 #include "util/execution_context.h"
+#include "util/status.h"
 
 namespace cem::stream {
 
@@ -52,6 +53,36 @@ struct IngestStats {
   size_t boundary_additions = 0;
   /// Total (entity, neighborhood) memberships added.
   size_t memberships_added = 0;
+
+  friend bool operator==(const IngestStats&, const IngestStats&) = default;
+};
+
+/// Flat, serializable image of an IncrementalCover — what persist/ writes
+/// into a snapshot and feeds back through RestoreState(). Everything here
+/// is genuine state: none of it is derivable from the dataset alone (the
+/// arrival order alone determines it, but replaying the arrival order is
+/// exactly the cost a snapshot exists to avoid). The LSH index is the one
+/// exception: its buckets are a pure function of the signatures in slot
+/// order, so `lsh_buckets` is an optional fast path (loaded per-shard
+/// files) and an empty vector means "rebuild from the signatures".
+struct IncrementalCoverState {
+  /// slot -> reference id, in arrival order.
+  std::vector<data::EntityId> slots;
+  /// slot -> MinHash signature.
+  std::vector<std::vector<uint64_t>> signatures;
+  /// slot -> seeded neighborhood id, or IncrementalCover::kNoSeed.
+  std::vector<uint32_t> seed_neighborhoods;
+  /// Neighborhood id -> sorted member entities.
+  std::vector<std::vector<data::EntityId>> neighborhoods;
+  /// Core membership rows (canopy/pair-repair members), sorted by entity.
+  std::vector<core::MembershipEntry> core_entries;
+  /// Full membership rows (core + boundary), sorted by entity.
+  std::vector<core::MembershipEntry> full_entries;
+  /// Ingest work counters as of the snapshot.
+  IngestStats stats;
+  /// Per-shard LSH buckets (fast path; see above). Either empty or exactly
+  /// one map per shard of the restoring index.
+  std::vector<blocking::LshIndex::BucketMap> lsh_buckets;
 };
 
 /// Incrementally maintained total cover over the *live* subset of a
@@ -79,6 +110,10 @@ struct IngestStats {
 /// computation, not the index/cover mutation).
 class IncrementalCover {
  public:
+  /// Sentinel of the seed-neighborhood map: this slot seeds no
+  /// neighborhood. Part of the snapshot format (persist/).
+  static constexpr uint32_t kNoSeed = 0xffffffffu;
+
   /// `dataset` must be finalized with candidate pairs built and must
   /// outlive this object. The LSH shard count comes from `ctx`.
   IncrementalCover(const data::Dataset& dataset,
@@ -127,10 +162,48 @@ class IncrementalCover {
     return Insert(ref, ComputeSignature(ref));
   }
 
- private:
-  /// Sentinel of seed_neighborhood_: this slot seeds no neighborhood.
-  static constexpr uint32_t kNoSeed = 0xffffffffu;
+  // --- serialization support (persist/) ------------------------------------
+  // Const views of the complete mutable state, in declaration order of the
+  // members they expose; together with options() and stats() they let a
+  // snapshot writer enumerate everything RestoreState() needs. Pinned
+  // against observable behavior by the persist tests.
 
+  /// Arrival order: slot -> reference id. slots()[i] was the (i+1)-th live
+  /// reference.
+  const std::vector<data::EntityId>& slots() const { return slots_; }
+
+  /// slot -> MinHash signature (what ComputeSignature returned at insert).
+  const std::vector<std::vector<uint64_t>>& signatures() const {
+    return signatures_;
+  }
+
+  /// slot -> id of the neighborhood it seeds, or kNoSeed.
+  const std::vector<uint32_t>& seed_neighborhoods() const {
+    return seed_neighborhood_;
+  }
+
+  /// The sharded banded LSH index over the live signatures.
+  const blocking::LshIndex& lsh_index() const { return index_; }
+
+  /// Core membership (canopy members and pair repairs) — the pair-patch
+  /// bookkeeping: pair-coverage decisions test this, never boundary
+  /// membership.
+  const core::CoverMembership& core_membership() const { return core_; }
+
+  /// Full membership (core + boundary): mirrors cover() exactly.
+  const core::CoverMembership& full_membership() const { return full_; }
+
+  /// Restores a snapshot into a freshly constructed cover (num_live() must
+  /// be 0) built over the same dataset and options. The LSH index is
+  /// installed from state.lsh_buckets when they match this cover's shard
+  /// count, else rebuilt from the signatures in parallel on `ctx` — either
+  /// way every subsequent Insert() behaves bit-identically to the original
+  /// uninterrupted run. Returns InvalidArgument (state untouched aside
+  /// from moves) when the image is structurally inconsistent.
+  Status RestoreState(IncrementalCoverState state,
+                      const ExecutionContext& ctx);
+
+ private:
   /// Adds `e` to neighborhood `n`. Core members (canopy/pair-repair) pull
   /// their live coauthors in as boundary members — the incremental
   /// ExpandCoauthorBoundary. Records changed neighborhoods in `dirty`.

@@ -51,6 +51,25 @@ void StreamingMatcher::AddBatch(const std::vector<data::EntityId>& refs) {
   Drain();
 }
 
+Status StreamingMatcher::RestoreState(StreamingMatcherState state) {
+  if (num_live() != 0 || !matches_.empty() || !active_.empty() ||
+      matching_stats_.matcher_calls != 0) {
+    return FailedPreconditionError(
+        "RestoreState needs a freshly constructed StreamingMatcher");
+  }
+  CEM_RETURN_IF_ERROR(
+      icover_.RestoreState(std::move(state.cover), Resolve(options_)));
+  for (uint64_t key : state.match_keys) {
+    const data::EntityPair pair = data::PairFromKey(key);
+    if (pair.a >= pair.b || !matches_.Insert(pair)) {
+      return InvalidArgumentError("match keys must be normalised and unique");
+    }
+  }
+  matching_stats_ = state.matching;
+  queued_.assign(icover_.cover().size(), 0);
+  return OkStatus();
+}
+
 size_t StreamingMatcher::PairsInside(uint32_t n) const {
   const data::Dataset& dataset = matcher_.dataset();
   const std::vector<data::EntityId>& entities =

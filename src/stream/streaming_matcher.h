@@ -40,11 +40,27 @@ struct MatchingStats {
   /// with both endpoints inside an evaluated neighborhood, counted per
   /// evaluation) — the re-scoring work incremental matching amortizes.
   size_t pairs_rescored = 0;
+
+  friend bool operator==(const MatchingStats&,
+                         const MatchingStats&) = default;
 };
 
 /// Combined work counters of a StreamingMatcher.
 struct StreamingStats {
   IngestStats ingest;
+  MatchingStats matching;
+
+  friend bool operator==(const StreamingStats&,
+                         const StreamingStats&) = default;
+};
+
+/// Serializable image of a StreamingMatcher at a quiescent point (active
+/// set drained — the only points the persistence layer snapshots at, so
+/// the active set itself is never part of the format).
+struct StreamingMatcherState {
+  IncrementalCoverState cover;
+  /// Sorted data::PairKey values of the converged match set.
+  std::vector<uint64_t> match_keys;
   MatchingStats matching;
 };
 
@@ -105,9 +121,31 @@ class StreamingMatcher {
   size_t num_live() const { return icover_.num_live(); }
   bool is_live(data::EntityId ref) const { return icover_.is_live(ref); }
 
+  /// The matcher's dataset (the corpus references stream out of).
+  const data::Dataset& dataset() const { return matcher_.dataset(); }
+
+  const StreamingOptions& options() const { return options_; }
+
   StreamingStats stats() const {
     return {icover_.stats(), matching_stats_};
   }
+
+  // --- serialization support (persist/) ------------------------------------
+
+  /// The maintained incremental cover, full-state accessors included.
+  const IncrementalCover& incremental_cover() const { return icover_; }
+
+  /// True when the active set is drained — every Add()/AddBatch() returns
+  /// quiescent, so this only reads false mid-call. Snapshots require it.
+  bool quiescent() const { return active_.empty(); }
+
+  /// Restores a snapshot into a freshly constructed matcher (nothing
+  /// streamed yet) over the same dataset and options. After a successful
+  /// restore, streaming the remaining references produces bit-identical
+  /// matches, cover and work counters to the uninterrupted run that the
+  /// state was captured from. Returns InvalidArgument on a structurally
+  /// inconsistent image.
+  Status RestoreState(StreamingMatcherState state);
 
  private:
   /// Marks a neighborhood active (set semantics, like Algorithm 1's A).

@@ -71,6 +71,15 @@ class TokenIndex {
 
   size_t num_shards() const { return shards_.size(); }
 
+  /// Per-document normalised (lower-cased, sorted, unique) token sets — the
+  /// authoritative state the snapshot format persists. Postings are a pure
+  /// function of these: the loader rebuilds them with AddDocuments (token
+  /// normalisation is idempotent), which also re-derives the shard
+  /// partition instead of trusting a saved std::hash assignment.
+  const std::vector<std::vector<std::string>>& doc_tokens() const {
+    return doc_tokens_;
+  }
+
  private:
   /// Shard owning `token` (std::hash is stable within a process; the shard
   /// assignment never leaks into any query result).

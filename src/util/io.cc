@@ -1,0 +1,261 @@
+#include "util/io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace cem::io {
+namespace {
+
+/// CRC-32 lookup table (reflected 0xEDB88320), built once.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  const uint32_t* table = Crc32Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Buffer::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Buffer::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Buffer::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Buffer::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  PutBytes(s);
+}
+
+bool Cursor::Take(size_t n, const char** out) {
+  if (!ok_ || bytes_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = bytes_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+uint8_t Cursor::GetU8() {
+  const char* p;
+  if (!Take(1, &p)) return 0;
+  return static_cast<uint8_t>(*p);
+}
+
+uint32_t Cursor::GetU32() {
+  const char* p;
+  if (!Take(4, &p)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t Cursor::GetU64() {
+  const char* p;
+  if (!Take(8, &p)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+double Cursor::GetDouble() {
+  const uint64_t bits = GetU64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Cursor::GetString() {
+  const uint32_t size = GetU32();
+  const char* p;
+  if (!Take(size, &p)) return {};
+  return std::string(p, size);
+}
+
+FileWriter::FileWriter(const std::string& path, FaultPlan* faults, Mode mode)
+    : path_(path),
+      file_(std::fopen(path.c_str(), mode == Mode::kAppend ? "ab" : "wb")),
+      faults_(faults) {}
+
+FileWriter::~FileWriter() { Close(); }
+
+Status FileWriter::Write(std::string_view bytes) {
+  if (crashed_) return InternalError("write after simulated crash");
+  if (file_ == nullptr) {
+    return InternalError("cannot open " + path_ + " for writing");
+  }
+  std::string flipped;  // Backing store when a byte must be corrupted.
+  size_t allowed = bytes.size();
+  if (faults_ != nullptr) {
+    // Reserve the range [start, start+n) of the cumulative write stream.
+    const uint64_t start =
+        faults_->bytes_written.fetch_add(bytes.size(),
+                                         std::memory_order_relaxed);
+    if (start >= faults_->fail_after_bytes) {
+      allowed = 0;
+    } else if (start + bytes.size() > faults_->fail_after_bytes) {
+      allowed = static_cast<size_t>(faults_->fail_after_bytes - start);
+    }
+    if (faults_->flip_byte_at != FaultPlan::kNone &&
+        faults_->flip_byte_at >= start &&
+        faults_->flip_byte_at < start + allowed) {
+      flipped.assign(bytes.data(), bytes.size());
+      flipped[static_cast<size_t>(faults_->flip_byte_at - start)] ^= 0x01;
+      bytes = flipped;
+    }
+  }
+  FILE* f = static_cast<FILE*>(file_);
+  if (allowed > 0 && std::fwrite(bytes.data(), 1, allowed, f) != allowed) {
+    return InternalError("short write to " + path_);
+  }
+  if (allowed < bytes.size()) {
+    // The budget ran out mid-write: flush what made it to model a process
+    // killed with a torn final record on disk, then refuse further writes.
+    std::fflush(f);
+    crashed_ = true;
+    return InternalError("simulated crash writing " + path_);
+  }
+  return OkStatus();
+}
+
+Status FileWriter::Flush() {
+  if (crashed_) return InternalError("flush after simulated crash");
+  if (file_ == nullptr) {
+    return InternalError("cannot open " + path_ + " for writing");
+  }
+  if (std::fflush(static_cast<FILE*>(file_)) != 0) {
+    return InternalError("error flushing " + path_);
+  }
+  return OkStatus();
+}
+
+Status FileWriter::Close() {
+  if (file_ == nullptr) return OkStatus();
+  FILE* f = static_cast<FILE*>(file_);
+  file_ = nullptr;
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (!flushed || !closed) {
+    return InternalError("error closing " + path_);
+  }
+  return OkStatus();
+}
+
+Status WriteRecord(FileWriter& writer, std::string_view payload) {
+  Buffer frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload));
+  frame.PutBytes(payload);
+  return writer.Write(frame.bytes());
+}
+
+RecordVerdict ReadRecord(std::string_view bytes, size_t* pos,
+                         std::string_view* payload) {
+  if (*pos == bytes.size()) return RecordVerdict::kEndOfStream;
+  Cursor header(bytes.substr(*pos));
+  const uint32_t size = header.GetU32();
+  const uint32_t crc = header.GetU32();
+  if (!header.ok() || header.remaining() < size) {
+    return RecordVerdict::kTorn;
+  }
+  const std::string_view body = bytes.substr(*pos + 8, size);
+  if (Crc32(body) != crc) return RecordVerdict::kTorn;
+  *payload = body;
+  *pos += 8 + size;
+  return RecordVerdict::kRecord;
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return NotFoundError("cannot open " + path);
+  out->clear();
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    out->append(chunk, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return InternalError("error reading " + path);
+  return OkStatus();
+}
+
+Status WriteFramedFile(const std::string& path, std::string_view magic,
+                       uint32_t version, std::string_view payload,
+                       FaultPlan* faults) {
+  if (magic.size() != 8) {
+    return InvalidArgumentError("file magic must be 8 bytes");
+  }
+  FileWriter writer(path, faults);
+  Buffer header;
+  header.PutBytes(magic);
+  header.PutU32(version);
+  CEM_RETURN_IF_ERROR(writer.Write(header.bytes()));
+  CEM_RETURN_IF_ERROR(WriteRecord(writer, payload));
+  return writer.Close();
+}
+
+Result<std::string> ReadFramedFile(const std::string& path,
+                                   std::string_view magic,
+                                   uint32_t max_version,
+                                   uint32_t* version_out) {
+  std::string bytes;
+  CEM_RETURN_IF_ERROR(ReadFile(path, &bytes));
+  if (bytes.size() < 12 || std::string_view(bytes).substr(0, 8) != magic) {
+    return InvalidArgumentError(path + ": bad magic");
+  }
+  Cursor header(std::string_view(bytes).substr(8, 4));
+  const uint32_t version = header.GetU32();
+  if (version == 0 || version > max_version) {
+    return InvalidArgumentError(path + ": unsupported version " +
+                                std::to_string(version) +
+                                " (reader supports up to " +
+                                std::to_string(max_version) + ")");
+  }
+  if (version_out != nullptr) *version_out = version;
+  size_t pos = 12;
+  std::string_view payload;
+  const RecordVerdict verdict = ReadRecord(bytes, &pos, &payload);
+  if (verdict != RecordVerdict::kRecord || pos != bytes.size()) {
+    return InvalidArgumentError(path + ": torn or corrupt");
+  }
+  return std::string(payload);
+}
+
+}  // namespace cem::io

@@ -1,0 +1,167 @@
+#ifndef CEM_UTIL_IO_H_
+#define CEM_UTIL_IO_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cem::io {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `size` bytes. Every framed
+/// record the persistence layer writes carries one, so torn or bit-flipped
+/// state is detected on read instead of silently replayed.
+uint32_t Crc32(const void* data, size_t size);
+inline uint32_t Crc32(std::string_view bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+/// Little-endian append-only byte buffer: the encode half of the snapshot
+/// and WAL record formats. All multi-byte values are written little-endian
+/// explicitly, so the produced bytes are identical on every host (the
+/// golden-fixture test depends on this).
+class Buffer {
+ public:
+  void PutU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// IEEE-754 bit pattern, so doubles round-trip exactly.
+  void PutDouble(double v);
+  void PutBytes(std::string_view bytes) {
+    bytes_.append(bytes.data(), bytes.size());
+  }
+  /// Length-prefixed string (u32 length + raw bytes).
+  void PutString(std::string_view s);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// The decode half: a checked cursor over a byte payload. Every read
+/// validates remaining length; once a read fails the cursor is poisoned
+/// (`ok()` false, further reads return zero values), so decoders can
+/// validate once at the end instead of after every field.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  uint8_t GetU8();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  double GetDouble();
+  std::string GetString();
+
+  bool ok() const { return ok_; }
+  /// True when the whole payload was consumed and nothing failed.
+  bool AtEnd() const { return ok_ && pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  bool Take(size_t n, const char** out);
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Write-path fault injection: shared by every file a persisted run
+/// writes, so a crash-recovery test can kill ingest at an arbitrary byte
+/// offset of the durable stream (torn final WAL record, half-written
+/// snapshot shard) or corrupt one byte in flight (checksum coverage).
+/// `bytes_written` is atomic because snapshot shards save in parallel.
+struct FaultPlan {
+  static constexpr uint64_t kNone = ~0ULL;
+  /// Total byte budget across all writes through this plan; the write that
+  /// would cross it is cut short and reported as a simulated crash.
+  uint64_t fail_after_bytes = kNone;
+  /// XOR 0x01 into the byte at this cumulative write offset.
+  uint64_t flip_byte_at = kNone;
+  /// Cumulative bytes written through this plan.
+  std::atomic<uint64_t> bytes_written{0};
+};
+
+/// A write handle over one file, routing every byte through an optional
+/// FaultPlan. Not buffered beyond the underlying stdio buffer; Close()
+/// flushes and reports errors. A simulated crash (fault budget exhausted)
+/// surfaces as kAborted-like kInternal status with "simulated crash" in the
+/// message, and the writer refuses further writes — mirroring a killed
+/// process whose file ends mid-record.
+class FileWriter {
+ public:
+  enum class Mode { kTruncate, kAppend };
+
+  /// Creates/truncates `path` (kTruncate) or continues an existing file
+  /// (kAppend — the WAL reopened after recovery). `faults` may be null (no
+  /// injection) and must outlive the writer.
+  explicit FileWriter(const std::string& path, FaultPlan* faults = nullptr,
+                      Mode mode = Mode::kTruncate);
+  ~FileWriter();
+
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  /// True if the file opened; when false every write fails.
+  bool ok() const { return file_ != nullptr; }
+
+  Status Write(std::string_view bytes);
+
+  /// Flushes buffered bytes to the OS — the WAL's per-append durability
+  /// point (a record is recoverable once its append returned OK).
+  Status Flush();
+
+  /// Flushes and closes. Idempotent; the destructor calls it, but callers
+  /// that care about the verdict should call it explicitly.
+  Status Close();
+
+ private:
+  std::string path_;
+  void* file_;  // FILE*, kept out of the header.
+  FaultPlan* faults_;
+  bool crashed_ = false;
+};
+
+// --- framed records ---------------------------------------------------------
+// One record = u32 payload length, u32 CRC-32 of the payload, payload
+// bytes. A reader can always tell a cleanly-ended stream from a torn one:
+// anything short of a full frame, or a CRC mismatch, is a torn tail.
+
+/// Appends one framed record to `writer`.
+Status WriteRecord(FileWriter& writer, std::string_view payload);
+
+/// Frame scan results: a record, a clean end, or a torn/corrupt tail.
+enum class RecordVerdict { kRecord, kEndOfStream, kTorn };
+
+/// Reads the next framed record out of `bytes` starting at `*pos`,
+/// advancing `*pos` past it. On kRecord, `payload` points into `bytes`.
+RecordVerdict ReadRecord(std::string_view bytes, size_t* pos,
+                         std::string_view* payload);
+
+/// Reads a whole file into `out` (binary). kNotFound when absent.
+Status ReadFile(const std::string& path, std::string* out);
+
+/// Writes `payload` as one framed record prefixed by `magic` (exactly 8
+/// bytes) and a u32 format version — the single-record file layout every
+/// snapshot section uses. Routed through `faults` when non-null.
+Status WriteFramedFile(const std::string& path, std::string_view magic,
+                       uint32_t version, std::string_view payload,
+                       FaultPlan* faults = nullptr);
+
+/// Reads a file written by WriteFramedFile, validating magic, version and
+/// checksum. Error messages name the failure ("bad magic", "unsupported
+/// version", "torn or corrupt") so recovery can report why a snapshot was
+/// skipped. `max_version` is the newest format this reader understands.
+Result<std::string> ReadFramedFile(const std::string& path,
+                                   std::string_view magic,
+                                   uint32_t max_version,
+                                   uint32_t* version_out = nullptr);
+
+}  // namespace cem::io
+
+#endif  // CEM_UTIL_IO_H_
