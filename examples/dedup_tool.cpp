@@ -7,6 +7,7 @@
 //              [--blocking canopy|lsh] [--threads N]
 //              [--stream] [--stream-chunk N] [--arrival-seed S]
 //              [--snapshot-dir DIR] [--snapshot-every N] [--recover]
+//              [--fsync]
 //
 // Reads a TSV corpus (see data/tsv_io.h; --generate synthesises one
 // instead), builds candidate pairs and a total cover, runs the chosen
@@ -25,7 +26,11 @@
 // persist/recovery.h). --recover resumes from the directory's state —
 // newest complete snapshot plus WAL tail — and streams only the
 // references that were not yet ingested; the recovered run converges to
-// the same matches as an uninterrupted one.
+// the same matches as an uninterrupted one. The arrival seed and chunk
+// size are persisted alongside the state (arrival.meta): a recovered run
+// continues the exact shuffle the crashed one fed, and passing
+// conflicting flags is an error rather than a silent divergence.
+// --fsync extends durability from process crashes to power loss.
 
 #include <cstdio>
 #include <cstdlib>
@@ -71,8 +76,10 @@ struct Args {
   bool stream = false;
   /// References per AddBatch chunk in --stream mode (0 = one at a time).
   uint32_t stream_chunk = 64;
+  bool stream_chunk_set = false;  // Explicit flag vs default.
   /// Seed of the random arrival order in --stream mode.
   uint64_t arrival_seed = 1;
+  bool arrival_seed_set = false;  // Explicit flag vs default.
   /// Durable state directory for --stream (empty = no persistence).
   /// Defaults from CEM_SNAPSHOT_DIR so deployments can set it globally.
   std::string snapshot_dir = [] {
@@ -83,6 +90,8 @@ struct Args {
   size_t snapshot_every = 4096;
   /// Resume from --snapshot-dir state instead of starting fresh.
   bool recover = false;
+  /// fsync WAL appends and snapshot files (survive power loss).
+  bool fsync = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -137,10 +146,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--stream-chunk");
       if (!v) return false;
       args->stream_chunk = static_cast<uint32_t>(std::atoi(v));
+      args->stream_chunk_set = true;
     } else if (!std::strcmp(argv[i], "--arrival-seed")) {
       const char* v = next("--arrival-seed");
       if (!v) return false;
       args->arrival_seed = static_cast<uint64_t>(std::atoll(v));
+      args->arrival_seed_set = true;
     } else if (!std::strcmp(argv[i], "--snapshot-dir")) {
       const char* v = next("--snapshot-dir");
       if (!v) return false;
@@ -152,11 +163,44 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->snapshot_every = parsed > 0 ? static_cast<size_t>(parsed) : 0;
     } else if (!std::strcmp(argv[i], "--recover")) {
       args->recover = true;
+    } else if (!std::strcmp(argv[i], "--fsync")) {
+      args->fsync = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return false;
     }
   }
+  return true;
+}
+
+// --- arrival sidecar --------------------------------------------------------
+// The StateFingerprint binds a state directory to the dataset and cover
+// options, but not to this tool's arrival shuffle: recovering with a
+// different --arrival-seed would pass the fingerprint check and then feed
+// references from a different permutation starting at num_live(),
+// silently diverging from the stream the crashed run fed. The seed (and
+// the chunk size, which fixes the replayed drain boundaries) therefore
+// persist in a sidecar next to the WAL and are reconciled on --recover.
+
+std::string ArrivalMetaPath(const std::string& dir) {
+  return dir + "/arrival.meta";
+}
+
+bool WriteArrivalMeta(const std::string& dir, uint64_t seed, uint32_t chunk) {
+  std::ofstream out(ArrivalMetaPath(dir), std::ios::trunc);
+  out << "arrival_seed\t" << seed << "\nstream_chunk\t" << chunk << "\n";
+  return static_cast<bool>(out);
+}
+
+bool ReadArrivalMeta(const std::string& dir, uint64_t* seed,
+                     uint32_t* chunk) {
+  std::ifstream in(ArrivalMetaPath(dir));
+  std::string key;
+  unsigned long long value = 0;
+  if (!(in >> key >> value) || key != "arrival_seed") return false;
+  *seed = value;
+  if (!(in >> key >> value) || key != "stream_chunk") return false;
+  *chunk = static_cast<uint32_t>(value);
   return true;
 }
 
@@ -238,13 +282,48 @@ int main(int argc, char** argv) {
     if (!args.snapshot_dir.empty()) {
       // Durable ingest: WAL-ahead chunks plus periodic snapshots. The
       // arrival order is the same seeded shuffle ReplayStreaming uses, so
-      // a recovered run continues the exact stream a crashed one fed.
+      // a recovered run continues the exact stream a crashed one fed —
+      // guaranteed by reconciling the persisted arrival sidecar first.
+      if (args.recover) {
+        uint64_t saved_seed = 0;
+        uint32_t saved_chunk = 0;
+        if (ReadArrivalMeta(args.snapshot_dir, &saved_seed, &saved_chunk)) {
+          if (args.arrival_seed_set && args.arrival_seed != saved_seed) {
+            std::fprintf(stderr,
+                         "--arrival-seed %llu conflicts with the recorded "
+                         "seed %llu in %s/arrival.meta; the recovered state "
+                         "was fed from that shuffle\n",
+                         static_cast<unsigned long long>(args.arrival_seed),
+                         static_cast<unsigned long long>(saved_seed),
+                         args.snapshot_dir.c_str());
+            return 2;
+          }
+          if (args.stream_chunk_set && args.stream_chunk != saved_chunk) {
+            std::fprintf(stderr,
+                         "--stream-chunk %u conflicts with the recorded "
+                         "chunk size %u in %s/arrival.meta\n",
+                         args.stream_chunk, saved_chunk,
+                         args.snapshot_dir.c_str());
+            return 2;
+          }
+          args.arrival_seed = saved_seed;
+          args.stream_chunk = saved_chunk;
+        } else {
+          std::fprintf(stderr,
+                       "warning: %s/arrival.meta missing; trusting "
+                       "--arrival-seed %llu / --stream-chunk %u to match "
+                       "the crashed run\n",
+                       args.snapshot_dir.c_str(),
+                       static_cast<unsigned long long>(args.arrival_seed),
+                       args.stream_chunk);
+        }
+      }
       std::vector<data::EntityId> refs = dataset->author_refs();
       Rng rng(args.arrival_seed);
       rng.Shuffle(refs);
       persist::PersistentStreamingMatcher persistent(
           *matcher, options,
-          {args.snapshot_dir, args.snapshot_every, nullptr});
+          {args.snapshot_dir, args.snapshot_every, nullptr, args.fsync});
       if (args.recover) {
         persist::RecoveryInfo info;
         const Status recovered = persistent.Recover(&info);
@@ -267,6 +346,12 @@ int main(int argc, char** argv) {
         if (!started.ok()) {
           std::fprintf(stderr, "cannot start persisted stream: %s\n",
                        started.ToString().c_str());
+          return 1;
+        }
+        if (!WriteArrivalMeta(args.snapshot_dir, args.arrival_seed,
+                              args.stream_chunk)) {
+          std::fprintf(stderr, "cannot write %s/arrival.meta\n",
+                       args.snapshot_dir.c_str());
           return 1;
         }
       }

@@ -18,7 +18,8 @@ namespace cem::persist {
 
 /// Format version of snapshot section files. v1: the initial layout.
 inline constexpr uint32_t kSnapshotVersion = 1;
-/// Format version of the ingest WAL. v1: header record + chunk records.
+/// Format version of the ingest WAL. v1: header record (fingerprint +
+/// base insert count) + chunk records.
 inline constexpr uint32_t kWalVersion = 1;
 
 /// 8-byte file magics (io::WriteFramedFile prefixes).

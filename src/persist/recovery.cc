@@ -24,7 +24,8 @@ PersistentStreamingMatcher::PersistentStreamingMatcher(
       options_(persist_options),
       fingerprint_(
           StateFingerprint::Of(matcher.dataset(), stream_options.cover)),
-      wal_(WalPath(persist_options.dir), persist_options.faults) {}
+      wal_(WalPath(persist_options.dir), persist_options.faults,
+           persist_options.fsync) {}
 
 Status PersistentStreamingMatcher::Start() {
   if (started_) return FailedPreconditionError("already started");
@@ -86,11 +87,26 @@ Status PersistentStreamingMatcher::Recover(RecoveryInfo* info) {
   }
   const size_t snapshot_inserts = inner_->num_live();
 
-  // Replay the WAL chunks past the snapshot point. Snapshots are taken at
-  // chunk boundaries, so the skip either lands exactly on the snapshot's
-  // insert count or runs out of surviving chunks (a snapshot newer than
-  // the readable WAL prefix — e.g. a mid-WAL flip — needs no replay).
-  size_t skipped_inserts = 0;
+  // Replay the WAL chunks past the snapshot point, counting from the
+  // WAL's base (a WAL rebuilt by an earlier recovery starts at that
+  // recovery's insert count, not 0). A base ahead of the best loadable
+  // snapshot means the snapshot the base came from was since damaged —
+  // the inserts in the gap were acknowledged but are on neither surviving
+  // medium, which must surface as data loss, not as a silently older
+  // state.
+  if (wal.header_valid && wal.base_inserts > snapshot_inserts) {
+    return InternalError(
+        options_.dir + ": WAL continues from insert " +
+        std::to_string(wal.base_inserts) + " but the best loadable state " +
+        "holds " + std::to_string(snapshot_inserts) +
+        " — acknowledged inserts were lost with a damaged snapshot");
+  }
+  // Snapshots are taken at chunk boundaries, so the skip either lands
+  // exactly on the snapshot's insert count or runs out of surviving
+  // chunks (a snapshot newer than the readable WAL prefix — e.g. a
+  // mid-WAL flip — needs no replay).
+  size_t skipped_inserts =
+      wal.header_valid ? static_cast<size_t>(wal.base_inserts) : 0;
   size_t chunk = 0;
   while (chunk < wal.chunks.size() && skipped_inserts < snapshot_inserts) {
     if (skipped_inserts + wal.chunks[chunk].size() > snapshot_inserts) {
@@ -112,9 +128,11 @@ Status PersistentStreamingMatcher::Recover(RecoveryInfo* info) {
   }
 
   // Repair the WAL for continued appends: recreate it when the header
-  // never made it to disk, truncate away any torn tail otherwise.
+  // never made it to disk — based at the recovered insert count, so the
+  // next recovery knows its chunks continue from here — truncate away any
+  // torn tail otherwise.
   if (!wal.header_valid) {
-    CEM_RETURN_IF_ERROR(wal_.Create(fingerprint_));
+    CEM_RETURN_IF_ERROR(wal_.Create(fingerprint_, inner_->num_live()));
   } else {
     std::error_code ec;
     const uintmax_t size = fs::file_size(wal_path, ec);
@@ -153,7 +171,8 @@ Status PersistentStreamingMatcher::AddBatch(
 
 Status PersistentStreamingMatcher::Checkpoint() {
   if (!started_) return FailedPreconditionError("Start() or Recover() first");
-  CEM_RETURN_IF_ERROR(SaveSnapshot(options_.dir, *inner_, options_.faults));
+  CEM_RETURN_IF_ERROR(
+      SaveSnapshot(options_.dir, *inner_, options_.faults, options_.fsync));
   last_checkpoint_inserts_ = inner_->num_live();
   return OkStatus();
 }

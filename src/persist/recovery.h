@@ -29,6 +29,12 @@ struct PersistOptions {
   /// Optional write-path fault injection, shared by the WAL and every
   /// snapshot file (crash-recovery tests). Must outlive the matcher.
   io::FaultPlan* faults = nullptr;
+  /// fsync every WAL append and snapshot file (plus the snapshot
+  /// directory entries). Off, acknowledged chunks survive a process
+  /// crash but an OS crash or power loss can lose bytes still in the
+  /// page cache; on, the durability point extends to power loss at a
+  /// large per-append cost.
+  bool fsync = false;
 };
 
 /// What Recover() found and did.
@@ -61,12 +67,17 @@ struct RecoveryInfo {
 /// applying it, so the recoverable insert count is always a chunk
 /// boundary; Recover() loads the newest complete snapshot (skipping
 /// damaged ones), replays the WAL chunks past it through AddBatch, and
-/// truncates any torn tail. Because replay repeats the original chunk
-/// boundaries, the recovered matches, cover AND work counters are
-/// bit-identical to the uninterrupted run at the same point — the caller
-/// only re-feeds references from num_live() onward (anything the WAL
-/// lost in the torn tail was, by the write-ahead discipline, never
-/// acknowledged as applied).
+/// truncates any torn tail. The WAL header records the insert count its
+/// chunks continue from (0 for a fresh run; the recovered state's count
+/// when Recover() rebuilds a missing WAL next to a surviving snapshot),
+/// so replay accounting stays correct across repeated crash/recover
+/// cycles. Because replay repeats the original chunk boundaries, the
+/// recovered matches, cover AND work counters are bit-identical to the
+/// uninterrupted run at the same point — the caller only re-feeds
+/// references from num_live() onward (anything the WAL lost in the torn
+/// tail was, by the write-ahead discipline, never acknowledged as
+/// applied). Acknowledged means durable against process crashes; set
+/// PersistOptions::fsync to extend that to OS crashes and power loss.
 class PersistentStreamingMatcher {
  public:
   /// `matcher` must outlive this object; `stream_options.context`, when

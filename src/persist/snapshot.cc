@@ -13,6 +13,11 @@ namespace {
 
 namespace fs = std::filesystem;
 
+/// Upper bound on a shard count read from a file: per-shard bookkeeping
+/// vectors are sized by it before any shard file is opened, so an absurd
+/// value must be rejected, not allocated.
+constexpr uint32_t kMaxShards = 1u << 16;
+
 const ExecutionContext& Resolve(const stream::StreamingMatcher& matcher) {
   return matcher.options().context != nullptr ? *matcher.options().context
                                               : ExecutionContext::Default();
@@ -48,13 +53,17 @@ Status GetMembershipEntries(io::Cursor& in, const std::string& what,
                             std::vector<core::MembershipEntry>* out) {
   const uint64_t count = in.GetU64();
   out->clear();
-  out->reserve(count);
+  // Counts come from the file; clamp every reserve to what the payload
+  // could actually hold so a corrupt-yet-CRC-valid count is a parse
+  // failure, not a bad_alloc (each entry is >= 12 encoded bytes, each
+  // home 4).
+  out->reserve(io::ClampCount(count, in.remaining(), 12));
   for (uint64_t i = 0; i < count && in.ok(); ++i) {
     core::MembershipEntry e;
     e.entity = in.GetU32();
     e.first_home = in.GetU32();
     const uint32_t homes = in.GetU32();
-    e.homes.reserve(homes);
+    e.homes.reserve(io::ClampCount(homes, in.remaining(), 4));
     for (uint32_t h = 0; h < homes && in.ok(); ++h) {
       e.homes.push_back(in.GetU32());
     }
@@ -128,7 +137,7 @@ struct Manifest {
 
 Status SaveSnapshot(const std::string& dir,
                     const stream::StreamingMatcher& matcher,
-                    io::FaultPlan* faults) {
+                    io::FaultPlan* faults, bool sync) {
   if (!matcher.quiescent()) {
     return FailedPreconditionError(
         "snapshots are only taken at quiescent points");
@@ -161,7 +170,7 @@ Status SaveSnapshot(const std::string& dir,
     PutIngestStats(out, cover.stats());
     CEM_RETURN_IF_ERROR(io::WriteFramedFile((snap_dir / "stream.bin").string(),
                                             kSnapshotMagic, kSnapshotVersion,
-                                            out.bytes(), faults));
+                                            out.bytes(), faults, sync));
   }
   {
     std::vector<uint64_t> keys(matcher.matches().keys().begin(),
@@ -177,7 +186,7 @@ Status SaveSnapshot(const std::string& dir,
     out.PutU64(m.pairs_rescored);
     CEM_RETURN_IF_ERROR(io::WriteFramedFile((snap_dir / "matches.bin").string(),
                                             kSnapshotMagic, kSnapshotVersion,
-                                            out.bytes(), faults));
+                                            out.bytes(), faults, sync));
   }
   {
     io::Buffer out;
@@ -193,7 +202,7 @@ Status SaveSnapshot(const std::string& dir,
     PutMembershipEntries(out, cover.full_membership().SortedEntries());
     CEM_RETURN_IF_ERROR(io::WriteFramedFile((snap_dir / "cover.bin").string(),
                                             kSnapshotMagic, kSnapshotVersion,
-                                            out.bytes(), faults));
+                                            out.bytes(), faults, sync));
   }
 
   // Shard files: one parallel-for job per shard writes that shard's
@@ -216,7 +225,7 @@ Status SaveSnapshot(const std::string& dir,
     }
     Status status = io::WriteFramedFile(
         (snap_dir / ShardFileName("sig", s)).string(), kSnapshotMagic,
-        kSnapshotVersion, sig.bytes(), faults);
+        kSnapshotVersion, sig.bytes(), faults, sync);
     if (status.ok()) {
       const blocking::LshIndex::BucketMap& buckets = index.shard_buckets(s);
       std::vector<uint64_t> bucket_keys;
@@ -236,7 +245,7 @@ Status SaveSnapshot(const std::string& dir,
       }
       status = io::WriteFramedFile((snap_dir / ShardFileName("lsh", s)).string(),
                                    kSnapshotMagic, kSnapshotVersion,
-                                   lsh.bytes(), faults);
+                                   lsh.bytes(), faults, sync);
     }
     shard_status[s] = status;
   });
@@ -252,8 +261,16 @@ Status SaveSnapshot(const std::string& dir,
   out.PutU64(matcher.matches().size());
   out.PutU64(cover.core_membership().num_entities());
   out.PutU64(cover.full_membership().num_entities());
-  return io::WriteFramedFile((snap_dir / "MANIFEST").string(), kSnapshotMagic,
-                             kSnapshotVersion, out.bytes(), faults);
+  CEM_RETURN_IF_ERROR(io::WriteFramedFile((snap_dir / "MANIFEST").string(),
+                                          kSnapshotMagic, kSnapshotVersion,
+                                          out.bytes(), faults, sync));
+  if (sync) {
+    // The files are durable; now make their directory entries durable too
+    // (the snapshot's own entries, then the snap_ entry in the parent).
+    CEM_RETURN_IF_ERROR(io::SyncDir(snap_dir.string()));
+    CEM_RETURN_IF_ERROR(io::SyncDir(dir));
+  }
+  return OkStatus();
 }
 
 std::vector<SnapshotRef> ListSnapshots(const std::string& dir) {
@@ -315,6 +332,10 @@ Status LoadSnapshot(const std::string& snap_dir,
     if (manifest.num_shards == 0) {
       return InvalidArgumentError(snap_dir + ": zero shards in MANIFEST");
     }
+    if (manifest.num_shards > kMaxShards) {
+      return InvalidArgumentError(snap_dir +
+                                  ": implausible shard count in MANIFEST");
+    }
   }
   const size_t n = manifest.inserts;
   const size_t file_shards = manifest.num_shards;
@@ -329,6 +350,13 @@ Status LoadSnapshot(const std::string& snap_dir,
     if (in.GetU64() != n) {
       return InvalidArgumentError(snap_dir +
                                   ": stream.bin disagrees with MANIFEST");
+    }
+    // n slots + n seeds at 4 bytes each must fit in the payload; checked
+    // before the first n-sized allocation so a corrupt insert count can
+    // never trigger bad_alloc here or in the signature table below.
+    if (n > in.remaining() / 8) {
+      return InvalidArgumentError(snap_dir +
+                                  ": implausible insert count in stream.bin");
     }
     state.cover.slots.reserve(n);
     for (size_t i = 0; i < n; ++i) state.cover.slots.push_back(in.GetU32());
@@ -352,7 +380,7 @@ Status LoadSnapshot(const std::string& snap_dir,
       return InvalidArgumentError(snap_dir +
                                   ": matches.bin disagrees with MANIFEST");
     }
-    state.match_keys.reserve(count);
+    state.match_keys.reserve(io::ClampCount(count, in.remaining(), 8));
     for (uint64_t i = 0; i < count && in.ok(); ++i) {
       const uint64_t key = in.GetU64();
       if (!state.match_keys.empty() && state.match_keys.back() >= key) {
@@ -377,11 +405,12 @@ Status LoadSnapshot(const std::string& snap_dir,
       return InvalidArgumentError(snap_dir +
                                   ": cover.bin disagrees with MANIFEST");
     }
-    state.cover.neighborhoods.reserve(neighborhoods);
+    state.cover.neighborhoods.reserve(
+        io::ClampCount(neighborhoods, in.remaining(), 4));
     for (uint64_t i = 0; i < neighborhoods && in.ok(); ++i) {
       const uint32_t size = in.GetU32();
       std::vector<data::EntityId> members;
-      members.reserve(size);
+      members.reserve(io::ClampCount(size, in.remaining(), 4));
       for (uint32_t m = 0; m < size && in.ok(); ++m) {
         members.push_back(in.GetU32());
       }
@@ -445,7 +474,7 @@ Status LoadSnapshot(const std::string& snap_dir,
       first = false;
       previous_slot = slot;
       std::vector<uint64_t>& sig = state.cover.signatures[slot];
-      sig.reserve(num_hashes);
+      sig.reserve(io::ClampCount(num_hashes, in.remaining(), 8));
       for (uint32_t h = 0; h < num_hashes && in.ok(); ++h) {
         sig.push_back(in.GetU64());
       }
@@ -488,7 +517,7 @@ Status LoadSnapshot(const std::string& snap_dir,
         return;
       }
       blocking::LshIndex::BucketMap map;
-      map.reserve(buckets);
+      map.reserve(io::ClampCount(buckets, in.remaining(), 12));
       uint64_t previous_key = 0;
       bool first = true;
       for (uint64_t b = 0; b < buckets && in.ok(); ++b) {
@@ -502,7 +531,7 @@ Status LoadSnapshot(const std::string& snap_dir,
         first = false;
         previous_key = key;
         std::vector<uint32_t> docs;
-        docs.reserve(size);
+        docs.reserve(io::ClampCount(size, in.remaining(), 4));
         for (uint32_t d = 0; d < size && in.ok(); ++d) {
           const uint32_t doc = in.GetU32();
           if (doc >= n || (!docs.empty() && docs.back() >= doc)) {
@@ -530,7 +559,8 @@ Status LoadSnapshot(const std::string& snap_dir,
 // --- token index ------------------------------------------------------------
 
 Status SaveTokenIndex(const std::string& dir, const text::TokenIndex& index,
-                      const ExecutionContext& ctx, io::FaultPlan* faults) {
+                      const ExecutionContext& ctx, io::FaultPlan* faults,
+                      bool sync) {
   const size_t num_shards = index.num_shards();
   const size_t n = index.num_documents();
   std::error_code ec;
@@ -555,7 +585,7 @@ Status SaveTokenIndex(const std::string& dir, const text::TokenIndex& index,
     }
     shard_status[s] = io::WriteFramedFile(
         (fs::path(dir) / ShardFileName("toki", s)).string(), kTokenIndexMagic,
-        kSnapshotVersion, out.bytes(), faults);
+        kSnapshotVersion, out.bytes(), faults, sync);
   });
   CEM_RETURN_IF_ERROR(FirstError(shard_status));
 
@@ -563,9 +593,11 @@ Status SaveTokenIndex(const std::string& dir, const text::TokenIndex& index,
   out.PutU8(static_cast<uint8_t>(Section::kTokenMeta));
   out.PutU32(static_cast<uint32_t>(num_shards));
   out.PutU64(n);
-  return io::WriteFramedFile((fs::path(dir) / "toki_meta.bin").string(),
-                             kTokenIndexMagic, kSnapshotVersion, out.bytes(),
-                             faults);
+  CEM_RETURN_IF_ERROR(
+      io::WriteFramedFile((fs::path(dir) / "toki_meta.bin").string(),
+                          kTokenIndexMagic, kSnapshotVersion, out.bytes(),
+                          faults, sync));
+  return sync ? io::SyncDir(dir) : OkStatus();
 }
 
 Status LoadTokenIndex(const std::string& dir, text::TokenIndex& index,
@@ -589,6 +621,21 @@ Status LoadTokenIndex(const std::string& dir, text::TokenIndex& index,
     if (!in.AtEnd() || file_shards == 0) {
       return InvalidArgumentError(dir + ": malformed toki_meta.bin");
     }
+    if (file_shards > kMaxShards) {
+      return InvalidArgumentError(dir + ": implausible token shard count");
+    }
+  }
+  // Every document costs >= 8 bytes in its shard file; bounding n by the
+  // on-disk total keeps a corrupt count from allocating n empty vectors.
+  uintmax_t shard_bytes = 0;
+  for (uint32_t s = 0; s < file_shards; ++s) {
+    std::error_code ec;
+    const uintmax_t size =
+        fs::file_size(fs::path(dir) / ShardFileName("toki", s), ec);
+    if (!ec) shard_bytes += size;
+  }
+  if (n > shard_bytes / 8) {
+    return InvalidArgumentError(dir + ": implausible document count");
   }
   std::vector<std::vector<std::string>> doc_tokens(n);
   std::vector<Status> shard_status(file_shards);
@@ -622,7 +669,7 @@ Status LoadTokenIndex(const std::string& dir, text::TokenIndex& index,
       previous_doc = doc;
       const uint32_t num_tokens = in.GetU32();
       std::vector<std::string>& tokens = doc_tokens[doc];
-      tokens.reserve(num_tokens);
+      tokens.reserve(io::ClampCount(num_tokens, in.remaining(), 4));
       for (uint32_t t = 0; t < num_tokens && in.ok(); ++t) {
         tokens.push_back(in.GetString());
       }

@@ -39,9 +39,12 @@ namespace cem::persist {
 /// place, removing the MANIFEST first so a crash mid-overwrite can never
 /// leave a stale completeness marker on half-written files. A simulated
 /// crash from `faults` propagates as the Internal "simulated crash" status.
+/// With `sync` every file is fsynced and the directory entries are synced
+/// after the MANIFEST lands, making the snapshot durable against OS
+/// crashes and power loss, not just process kills.
 Status SaveSnapshot(const std::string& dir,
                     const stream::StreamingMatcher& matcher,
-                    io::FaultPlan* faults = nullptr);
+                    io::FaultPlan* faults = nullptr, bool sync = false);
 
 /// A snapshot candidate under a state directory.
 struct SnapshotRef {
@@ -70,10 +73,11 @@ Status LoadSnapshot(const std::string& snap_dir,
 // trusting a saved std::hash assignment across processes.
 
 /// Saves `index` into `dir` (created if needed), sharded by its own
-/// num_shards(); shard files write in parallel on `ctx`.
+/// num_shards(); shard files write in parallel on `ctx`. `sync` as in
+/// SaveSnapshot.
 Status SaveTokenIndex(const std::string& dir, const text::TokenIndex& index,
                       const ExecutionContext& ctx = ExecutionContext::Default(),
-                      io::FaultPlan* faults = nullptr);
+                      io::FaultPlan* faults = nullptr, bool sync = false);
 
 /// Loads a saved token index into empty `index` (any shard count); shard
 /// files read in parallel on `ctx`.

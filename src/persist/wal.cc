@@ -11,10 +11,11 @@ constexpr uint8_t kChunkRecord = 2;
 
 }  // namespace
 
-WalWriter::WalWriter(std::string path, io::FaultPlan* faults)
-    : path_(std::move(path)), faults_(faults) {}
+WalWriter::WalWriter(std::string path, io::FaultPlan* faults, bool sync)
+    : path_(std::move(path)), faults_(faults), sync_(sync) {}
 
-Status WalWriter::Create(const StateFingerprint& fingerprint) {
+Status WalWriter::Create(const StateFingerprint& fingerprint,
+                         uint64_t base_inserts) {
   file_ = std::make_unique<io::FileWriter>(path_, faults_);
   io::Buffer prefix;
   prefix.PutBytes(kWalMagic);
@@ -23,8 +24,9 @@ Status WalWriter::Create(const StateFingerprint& fingerprint) {
   io::Buffer header;
   header.PutU8(kHeaderRecord);
   fingerprint.AppendTo(header);
+  header.PutU64(base_inserts);
   CEM_RETURN_IF_ERROR(io::WriteRecord(*file_, header.bytes()));
-  return file_->Flush();
+  return sync_ ? file_->Sync() : file_->Flush();
 }
 
 Status WalWriter::OpenForAppend() {
@@ -46,7 +48,7 @@ Status WalWriter::AppendChunk(const std::vector<data::EntityId>& refs) {
   payload.PutU32(static_cast<uint32_t>(refs.size()));
   for (data::EntityId ref : refs) payload.PutU32(ref);
   CEM_RETURN_IF_ERROR(io::WriteRecord(*file_, payload.bytes()));
-  return file_->Flush();
+  return sync_ ? file_->Sync() : file_->Flush();
 }
 
 Result<WalContents> ReadWal(const std::string& path,
@@ -90,6 +92,7 @@ Result<WalContents> ReadWal(const std::string& path,
       return InvalidArgumentError(path + ": first record is not a header");
     }
     const StateFingerprint stored = StateFingerprint::ReadFrom(header);
+    contents.base_inserts = header.GetU64();
     if (!header.AtEnd()) {
       return InvalidArgumentError(path + ": malformed header record");
     }
@@ -118,8 +121,10 @@ Result<WalContents> ReadWal(const std::string& path,
     }
     const uint32_t count = chunk.GetU32();
     std::vector<data::EntityId> refs;
-    refs.reserve(count);
-    for (uint32_t i = 0; i < count; ++i) refs.push_back(chunk.GetU32());
+    refs.reserve(io::ClampCount(count, chunk.remaining(), 4));
+    for (uint32_t i = 0; i < count && chunk.ok(); ++i) {
+      refs.push_back(chunk.GetU32());
+    }
     if (!chunk.AtEnd() || refs.empty()) {
       return InvalidArgumentError(path + ": malformed chunk record");
     }

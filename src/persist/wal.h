@@ -14,8 +14,13 @@ namespace cem::persist {
 
 /// Append-only ingest write-ahead log. File layout: the 8-byte kWalMagic +
 /// u32 version prefix, then framed checksummed records (util/io.h) — record
-/// 0 is a header carrying the StateFingerprint, every further record is one
-/// ingested chunk (the refs of one Add/AddBatch call, in order).
+/// 0 is a header carrying the StateFingerprint and the base insert count
+/// (how many inserts were already durable elsewhere when this file was
+/// created: 0 for a fresh run, the recovered snapshot's count when
+/// recovery rebuilds a missing WAL), every further record is one ingested
+/// chunk (the refs of one Add/AddBatch call, in order). Replay accounting
+/// starts at the base, so chunk 0 of a rebuilt WAL is insert `base`, not
+/// insert 0.
 ///
 /// Chunk records are written and flushed BEFORE the chunk is applied to the
 /// in-memory state (true write-ahead). That makes every recoverable insert
@@ -31,19 +36,28 @@ namespace cem::persist {
 /// (nothing was ever applied) and reads as empty with header_valid false.
 class WalWriter {
  public:
-  /// `faults` may be null and must outlive the writer.
-  explicit WalWriter(std::string path, io::FaultPlan* faults = nullptr);
+  /// `faults` may be null and must outlive the writer. With `sync` true
+  /// every append also fsyncs, extending the durability point from
+  /// process crashes to OS crashes/power loss (at a large per-append
+  /// cost).
+  explicit WalWriter(std::string path, io::FaultPlan* faults = nullptr,
+                     bool sync = false);
 
   /// Creates/truncates the file and writes the prefix + header record.
-  Status Create(const StateFingerprint& fingerprint);
+  /// `base_inserts` is the live insert count the WAL starts appending
+  /// from — 0 for a fresh run, the recovered state's count when recovery
+  /// rebuilds a WAL next to a surviving snapshot.
+  Status Create(const StateFingerprint& fingerprint,
+                uint64_t base_inserts = 0);
 
   /// Continues an existing WAL whose bytes end at a record boundary
   /// (recovery truncates any torn tail before calling this).
   Status OpenForAppend();
 
   /// Appends one chunk record and flushes it — the durability point: once
-  /// this returns OK the chunk survives any later crash. Call before
-  /// applying the chunk (write-ahead). `refs` may not be empty.
+  /// this returns OK the chunk survives any later process crash (and, with
+  /// `sync`, any OS crash). Call before applying the chunk (write-ahead).
+  /// `refs` may not be empty.
   Status AppendChunk(const std::vector<data::EntityId>& refs);
 
   const std::string& path() const { return path_; }
@@ -51,6 +65,7 @@ class WalWriter {
  private:
   std::string path_;
   io::FaultPlan* faults_;
+  bool sync_;
   std::unique_ptr<io::FileWriter> file_;
 };
 
@@ -60,6 +75,9 @@ struct WalContents {
   std::vector<std::vector<data::EntityId>> chunks;
   /// Sum of chunk sizes.
   size_t num_inserts = 0;
+  /// Insert count the first chunk record continues from (the header's
+  /// base field). Only meaningful when header_valid.
+  uint64_t base_inserts = 0;
   /// Byte length of the valid prefix (prefix + header + whole records);
   /// recovery truncates the file to this before reopening for append.
   uint64_t valid_bytes = 0;

@@ -3,6 +3,11 @@
 #include <cstdio>
 #include <cstring>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace cem::io {
 namespace {
 
@@ -165,6 +170,16 @@ Status FileWriter::Flush() {
   return OkStatus();
 }
 
+Status FileWriter::Sync() {
+  CEM_RETURN_IF_ERROR(Flush());
+#ifndef _WIN32
+  if (fsync(fileno(static_cast<FILE*>(file_))) != 0) {
+    return InternalError("error syncing " + path_);
+  }
+#endif
+  return OkStatus();
+}
+
 Status FileWriter::Close() {
   if (file_ == nullptr) return OkStatus();
   FILE* f = static_cast<FILE*>(file_);
@@ -216,9 +231,20 @@ Status ReadFile(const std::string& path, std::string* out) {
   return OkStatus();
 }
 
+Status SyncDir(const std::string& path) {
+#ifndef _WIN32
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) return InternalError("cannot open directory " + path);
+  const bool synced = fsync(fd) == 0;
+  close(fd);
+  if (!synced) return InternalError("error syncing directory " + path);
+#endif
+  return OkStatus();
+}
+
 Status WriteFramedFile(const std::string& path, std::string_view magic,
                        uint32_t version, std::string_view payload,
-                       FaultPlan* faults) {
+                       FaultPlan* faults, bool sync) {
   if (magic.size() != 8) {
     return InvalidArgumentError("file magic must be 8 bytes");
   }
@@ -228,6 +254,7 @@ Status WriteFramedFile(const std::string& path, std::string_view magic,
   header.PutU32(version);
   CEM_RETURN_IF_ERROR(writer.Write(header.bytes()));
   CEM_RETURN_IF_ERROR(WriteRecord(writer, payload));
+  if (sync) CEM_RETURN_IF_ERROR(writer.Sync());
   return writer.Close();
 }
 

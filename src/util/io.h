@@ -71,6 +71,18 @@ class Cursor {
   bool ok_ = true;
 };
 
+/// Decode-safe reserve hint: `count` clamped so the implied allocation
+/// cannot exceed what the payload could actually encode (`count` elements
+/// of at least `min_encoded_bytes` each within `remaining` bytes). A
+/// hostile or corrupt-yet-CRC-valid count then costs a failed parse —
+/// the cursor poisons when the bytes run out — instead of a
+/// std::length_error/bad_alloc crash inside reserve().
+inline size_t ClampCount(uint64_t count, size_t remaining,
+                         size_t min_encoded_bytes) {
+  const uint64_t cap = remaining / min_encoded_bytes;
+  return static_cast<size_t>(count < cap ? count : cap);
+}
+
 /// Write-path fault injection: shared by every file a persisted run
 /// writes, so a crash-recovery test can kill ingest at an arbitrary byte
 /// offset of the durable stream (torn final WAL record, half-written
@@ -112,9 +124,15 @@ class FileWriter {
 
   Status Write(std::string_view bytes);
 
-  /// Flushes buffered bytes to the OS — the WAL's per-append durability
-  /// point (a record is recoverable once its append returned OK).
+  /// Flushes buffered bytes to the OS page cache — the WAL's default
+  /// per-append durability point (a record is recoverable after a
+  /// process crash once its append returned OK; an OS crash or power
+  /// loss may still lose it — use Sync() for that).
   Status Flush();
+
+  /// Flush() plus fsync: the bytes survive an OS crash or power loss,
+  /// not just a process kill. No-op on platforms without fsync.
+  Status Sync();
 
   /// Flushes and closes. Idempotent; the destructor calls it, but callers
   /// that care about the verdict should call it explicitly.
@@ -146,12 +164,19 @@ RecordVerdict ReadRecord(std::string_view bytes, size_t* pos,
 /// Reads a whole file into `out` (binary). kNotFound when absent.
 Status ReadFile(const std::string& path, std::string* out);
 
+/// fsyncs the directory entry list at `path`, making recently created or
+/// renamed files inside it durable against OS crashes (a file fsync alone
+/// does not persist its directory entry). No-op on platforms without
+/// directory fsync.
+Status SyncDir(const std::string& path);
+
 /// Writes `payload` as one framed record prefixed by `magic` (exactly 8
 /// bytes) and a u32 format version — the single-record file layout every
-/// snapshot section uses. Routed through `faults` when non-null.
+/// snapshot section uses. Routed through `faults` when non-null. With
+/// `sync` the file is fsynced before close.
 Status WriteFramedFile(const std::string& path, std::string_view magic,
                        uint32_t version, std::string_view payload,
-                       FaultPlan* faults = nullptr);
+                       FaultPlan* faults = nullptr, bool sync = false);
 
 /// Reads a file written by WriteFramedFile, validating magic, version and
 /// checksum. Error messages name the failure ("bad magic", "unsupported

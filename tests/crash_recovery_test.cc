@@ -452,6 +452,119 @@ TEST(WalEdgeCases, SnapshotOnlyRecoveryRebuildsTheMissingWal) {
   EXPECT_EQ(recovered.matcher().matches(), reference.matches);
 }
 
+TEST(WalEdgeCases, CrashAfterARebuiltWalRecoveryReplaysTheLaterChunks) {
+  // The regression the base-insert header field exists for: recover from
+  // a snapshot with a missing WAL (the rebuilt WAL's chunks then continue
+  // from the snapshot's insert count, not 0), append more acknowledged
+  // chunks, crash again. The second recovery must replay those chunks —
+  // with base-0 accounting it would skip them as pre-snapshot history and
+  // apply the rest onto a state with a hole.
+  const auto dataset = MakeSmallBib(908);
+  const mln::MlnMatcher matcher(*dataset);
+  const StreamingOptions options;
+  const std::vector<data::EntityId> refs = ShuffledRefs(*dataset, 43);
+  const RunState reference = ReferenceRun(matcher, refs, 8, options);
+  const std::string dir = ScratchDir("rebuilt_wal_crash");
+  // Snapshot after the FIRST chunk, so the buggy skip accounting would
+  // align exactly on a post-rebuild chunk boundary (the silent case).
+  const size_t fed = 8;
+  const size_t appended_chunks = 4;
+  ASSERT_GE(refs.size(), fed + appended_chunks * 8);
+  {
+    PersistentStreamingMatcher psm(matcher, options, {dir, 0, nullptr});
+    ASSERT_TRUE(psm.Start().ok());
+    ASSERT_TRUE(psm.AddBatch({refs.begin(), refs.begin() + fed}).ok());
+    ASSERT_TRUE(psm.Checkpoint().ok());
+  }
+  fs::remove(fs::path(dir) / "wal.log");
+  {
+    PersistentStreamingMatcher psm(matcher, options, {dir, 0, nullptr});
+    RecoveryInfo info;
+    ASSERT_TRUE(psm.Recover(&info).ok());
+    ASSERT_EQ(info.inserts_recovered, fed);
+    for (size_t c = 0; c < appended_chunks; ++c) {
+      const size_t start = fed + c * 8;
+      ASSERT_TRUE(psm.AddBatch({refs.begin() + start,
+                                refs.begin() + start + 8}).ok());
+    }
+  }  // Crash: destroyed without a checkpoint.
+  PersistentStreamingMatcher recovered(matcher, options, {dir, 0, nullptr});
+  RecoveryInfo info;
+  ASSERT_TRUE(recovered.Recover(&info).ok());
+  EXPECT_TRUE(info.used_snapshot);
+  EXPECT_EQ(info.snapshot_inserts, fed);
+  EXPECT_EQ(info.chunks_replayed, appended_chunks);
+  EXPECT_EQ(info.inserts_recovered, fed + appended_chunks * 8);
+  ASSERT_TRUE(Resume(recovered, refs, 8).ok());
+  ExpectSameState(Capture(recovered.matcher()), reference, "rebuilt wal");
+}
+
+TEST(WalEdgeCases, LosingTheSnapshotAWalWasRebasedOnIsAnErrorNotSilence) {
+  // After a rebuilt-WAL recovery, durability of everything before the
+  // base rests on the snapshot the rebase came from. If that snapshot is
+  // later damaged too, the acknowledged inserts in the gap exist on no
+  // surviving medium — recovery must say so, not quietly resume from an
+  // older (here: empty) state.
+  const auto dataset = MakeSmallBib(909);
+  const mln::MlnMatcher matcher(*dataset);
+  const StreamingOptions options;
+  const std::vector<data::EntityId> refs = ShuffledRefs(*dataset, 47);
+  const std::string dir = ScratchDir("lost_base_snapshot");
+  {
+    PersistentStreamingMatcher psm(matcher, options, {dir, 0, nullptr});
+    ASSERT_TRUE(psm.Start().ok());
+    ASSERT_TRUE(psm.AddBatch({refs.begin(), refs.begin() + 8}).ok());
+    ASSERT_TRUE(psm.Checkpoint().ok());
+  }
+  fs::remove(fs::path(dir) / "wal.log");
+  {
+    PersistentStreamingMatcher psm(matcher, options, {dir, 0, nullptr});
+    ASSERT_TRUE(psm.Recover().ok());  // Rebuilds the WAL based at 8.
+  }
+  const fs::path snap =
+      persist::ListSnapshots(dir)[0].path;
+  fs::remove(snap / "MANIFEST");  // The base snapshot dies at rest.
+  PersistentStreamingMatcher doomed(matcher, options, {dir, 0, nullptr});
+  const Status status = doomed.Recover();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("acknowledged inserts were lost"),
+            std::string::npos);
+}
+
+TEST(WalEdgeCases, FsyncedRunRecoversBitIdentically) {
+  // PersistOptions::fsync changes the flush path (fsync per append,
+  // per-file + directory sync per snapshot), not the bytes — recovery
+  // must behave identically with it on.
+  const auto dataset = MakeSmallBib(910);
+  const mln::MlnMatcher matcher(*dataset);
+  const StreamingOptions options;
+  const std::vector<data::EntityId> refs = ShuffledRefs(*dataset, 53);
+  const RunState reference = ReferenceRun(matcher, refs, 16, options);
+  const std::string dir = ScratchDir("fsync");
+  const size_t fed = (refs.size() / 2 / 16) * 16;
+  {
+    PersistentStreamingMatcher psm(matcher, options,
+                                   {dir, 32, nullptr, /*fsync=*/true});
+    ASSERT_TRUE(psm.Start().ok());
+    ASSERT_TRUE(psm.AddBatch({refs.begin(), refs.begin() + fed}).ok());
+  }
+  PersistentStreamingMatcher recovered(matcher, options,
+                                       {dir, 32, nullptr, /*fsync=*/true});
+  RecoveryInfo info;
+  ASSERT_TRUE(recovered.Recover(&info).ok());
+  EXPECT_EQ(info.inserts_recovered, fed);
+  ASSERT_TRUE(Resume(recovered, refs, 16).ok());
+  // Boundaries: one chunk of `fed`, then 16s — mirror them exactly.
+  StreamingMatcher mirror(matcher, options);
+  mirror.AddBatch({refs.begin(), refs.begin() + fed});
+  for (size_t start = fed; start < refs.size(); start += 16) {
+    const size_t end = std::min(refs.size(), start + 16);
+    mirror.AddBatch({refs.begin() + start, refs.begin() + end});
+  }
+  ExpectSameState(Capture(recovered.matcher()), Capture(mirror), "fsync");
+  EXPECT_EQ(recovered.matcher().matches(), reference.matches);
+}
+
 TEST(WalEdgeCases, DoubleRecoveryIsIdempotent) {
   const auto dataset = MakeSmallBib(906);
   const mln::MlnMatcher matcher(*dataset);

@@ -216,6 +216,18 @@ TEST(IoPrimitives, FramedFileRejectsBadMagicAndNewVersions) {
             std::string::npos);
 }
 
+TEST(IoPrimitives, SyncPersistsBytesAndDirectoryEntries) {
+  const std::string dir = ScratchDir("sync");
+  const std::string path = dir + "/synced.bin";
+  io::FileWriter writer(path);
+  ASSERT_TRUE(writer.Write("payload").ok());
+  ASSERT_TRUE(writer.Sync().ok());
+  EXPECT_EQ(ReadAll(path), "payload");
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_TRUE(io::SyncDir(dir).ok());
+  EXPECT_FALSE(io::SyncDir(dir + "/nonexistent").ok());
+}
+
 TEST(IoPrimitivesDeathTest, AccessingABadLoadResultDies) {
   const std::string dir = ScratchDir("death");
   Result<std::string> missing = io::ReadFramedFile(dir + "/absent.bin",
@@ -426,6 +438,49 @@ TEST(SnapshotRoundTrip, RejectsForeignFingerprints) {
   EXPECT_NE(status.message().find("fingerprint mismatch"), std::string::npos);
 }
 
+TEST(SnapshotRobustness, ImplausibleInsertCountIsRejectedNotAllocated) {
+  // A CRC-valid snapshot whose counts claim far more state than its bytes
+  // could encode must fail the parse (and be skippable by recovery), not
+  // die in a 2^60-element reserve.
+  const auto dataset = MakeSmallBib(810);
+  const mln::MlnMatcher matcher(*dataset);
+  StreamingMatcher victim(matcher);
+  const persist::StateFingerprint fingerprint =
+      persist::StateFingerprint::Of(*dataset, {});
+  const std::string dir = ScratchDir("huge_counts");
+  const std::string snap = dir + "/" + persist::SnapshotDirName(8);
+  fs::create_directories(snap);
+  const uint64_t huge = uint64_t{1} << 60;
+  {
+    io::Buffer out;
+    out.PutU8(static_cast<uint8_t>(persist::Section::kManifest));
+    fingerprint.AppendTo(out);
+    out.PutU64(huge);  // inserts
+    out.PutU32(1);     // shards
+    out.PutU64(0);     // neighborhoods
+    out.PutU64(0);     // matches
+    out.PutU64(0);     // core entries
+    out.PutU64(0);     // full entries
+    ASSERT_TRUE(io::WriteFramedFile(snap + "/MANIFEST",
+                                    persist::kSnapshotMagic,
+                                    persist::kSnapshotVersion,
+                                    out.bytes()).ok());
+  }
+  {
+    io::Buffer out;
+    out.PutU8(static_cast<uint8_t>(persist::Section::kStream));
+    out.PutU64(huge);  // Agrees with the MANIFEST, disagrees with reality.
+    ASSERT_TRUE(io::WriteFramedFile(snap + "/stream.bin",
+                                    persist::kSnapshotMagic,
+                                    persist::kSnapshotVersion,
+                                    out.bytes()).ok());
+  }
+  const Status status = persist::LoadSnapshot(snap, victim);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("implausible insert count"),
+            std::string::npos);
+}
+
 // --- token index ------------------------------------------------------------
 
 TEST(TokenIndexPersistence, RoundTripsAcrossShardCounts) {
@@ -516,6 +571,67 @@ TEST(Wal, AppendsAndReadsChunksBehindAFingerprint) {
   ASSERT_TRUE(missing.ok());
   EXPECT_FALSE(missing->header_valid);
   EXPECT_EQ(missing->num_inserts, 0u);
+}
+
+TEST(Wal, HeaderRecordsTheBaseInsertCount) {
+  const auto dataset = MakeSmallBib(808);
+  const persist::StateFingerprint fingerprint =
+      persist::StateFingerprint::Of(*dataset, {});
+  const std::string dir = ScratchDir("wal_base");
+  const std::string path = dir + "/wal.log";
+
+  // A fresh WAL starts at insert 0.
+  {
+    persist::WalWriter writer(path);
+    ASSERT_TRUE(writer.Create(fingerprint).ok());
+  }
+  Result<persist::WalContents> contents = persist::ReadWal(path, fingerprint);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->base_inserts, 0u);
+
+  // A WAL rebuilt next to a surviving snapshot records where its chunks
+  // continue from; chunk records count from there, not from 0.
+  {
+    persist::WalWriter writer(path);
+    ASSERT_TRUE(writer.Create(fingerprint, /*base_inserts=*/57).ok());
+    ASSERT_TRUE(writer.AppendChunk({1, 2}).ok());
+  }
+  contents = persist::ReadWal(path, fingerprint);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->header_valid);
+  EXPECT_EQ(contents->base_inserts, 57u);
+  EXPECT_EQ(contents->num_inserts, 2u);
+}
+
+TEST(Wal, HugeChunkCountFailsTheParseInsteadOfAllocating) {
+  const auto dataset = MakeSmallBib(809);
+  const persist::StateFingerprint fingerprint =
+      persist::StateFingerprint::Of(*dataset, {});
+  const std::string dir = ScratchDir("wal_huge");
+  const std::string path = dir + "/wal.log";
+  {
+    persist::WalWriter writer(path);
+    ASSERT_TRUE(writer.Create(fingerprint).ok());
+    ASSERT_TRUE(writer.AppendChunk({1, 2, 3}).ok());
+  }
+  // Append a CRC-valid chunk record whose count field claims 2^32-1
+  // entries but carries only two: the clamped reserve plus the poisoned
+  // cursor must turn this into a skippable parse error, not a bad_alloc.
+  {
+    io::FileWriter writer(path, nullptr, io::FileWriter::Mode::kAppend);
+    io::Buffer payload;
+    payload.PutU8(2);  // kChunkRecord
+    payload.PutU32(0xFFFFFFFFu);
+    payload.PutU32(4);
+    payload.PutU32(5);
+    ASSERT_TRUE(io::WriteRecord(writer, payload.bytes()).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  const Result<persist::WalContents> contents =
+      persist::ReadWal(path, fingerprint);
+  EXPECT_FALSE(contents.ok());
+  EXPECT_NE(contents.status().message().find("malformed chunk record"),
+            std::string::npos);
 }
 
 TEST(Wal, TornAndFlippedTailsDropOnlyTheDamagedSuffix) {
