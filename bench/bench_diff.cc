@@ -17,13 +17,30 @@
 // toward a wall-time gate on a dedicated runner (see ROADMAP) — the deltas
 // become visible in every CI log without making the gate host-sensitive.
 //
+// Histogram exports ("hist_<name>_{count,sum,p50,p95,p99}", from the
+// metrics registry) and gauges ("gauge_<name>") are likewise diffed
+// informationally: latency percentiles are host-dependent by construction,
+// so an unknown or shifted hist_/gauge_ key never affects the exit code.
+//
 // A counter missing from the current report fails the gate (renames must
 // update the baseline deliberately); a counter present only in the current
 // report is printed as informational so new counters get blessed into the
 // baseline instead of silently riding ungated; a malformed (truncated,
 // conflicted, non-JSON) report file is a hard error.
 //
-// Exit codes: 0 = within budget, 1 = regression, 2 = usage/io/format error.
+// Schema-check modes (the CI observability stage):
+//
+//   bench_diff --check-metrics <metrics.json>
+//     Valid when the file is one well-formed JSON object whose counter_*
+//     values are integer literals and whose wall_ms_*/gauge_*/hist_*
+//     values are numeric scalars, with at least one counter present.
+//
+//   bench_diff --check-trace <trace.json>
+//     Valid when the file is one well-formed JSON array (the Chrome
+//     trace_event format `dedup_tool --trace-json` emits).
+//
+// Exit codes: 0 = within budget/valid, 1 = regression,
+// 2 = usage/io/format/schema error.
 
 #include <cctype>
 #include <cstdio>
@@ -39,6 +56,8 @@ namespace {
 struct Counter {
   std::string key;
   double value;
+  /// The raw numeric token, for textual schema checks (integer literal?).
+  std::string raw;
 };
 
 /// Extracts `"<prefix><...>": <number>` entries from our generated report
@@ -67,7 +86,18 @@ bool ParseMetrics(const std::string& json, const std::string& prefix,
       *bad_key = json.substr(key_start, key_end - key_start);
       return false;
     }
-    out->push_back({json.substr(key_start, key_end - key_start), value});
+    out->push_back({json.substr(key_start, key_end - key_start), value,
+                    json.substr(cursor, end - (json.c_str() + cursor))});
+  }
+  return true;
+}
+
+/// True when `raw` is a JSON integer literal (what counter_* must be).
+bool IsIntegerLiteral(const std::string& raw) {
+  size_t i = (!raw.empty() && raw[0] == '-') ? 1 : 0;
+  if (i == raw.size()) return false;
+  for (; i < raw.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(raw[i]))) return false;
   }
   return true;
 }
@@ -81,17 +111,18 @@ bool ReadFile(const char* path, std::string* out) {
   return true;
 }
 
-/// Structural JSON check: the report must be one balanced object (braces
-/// and brackets matched outside strings, nothing but whitespace after it).
-/// Not a full parser — it catches the real failure modes of a baseline
-/// file: truncation, merge conflicts, an empty or non-JSON file.
-bool IsWellFormedJson(const std::string& json) {
+/// Structural JSON check: the document must be one balanced value opening
+/// with `open` ('{' for reports, '[' for trace arrays), braces and brackets
+/// matched outside strings, nothing but whitespace after it. Not a full
+/// parser — it catches the real failure modes of a generated file:
+/// truncation, merge conflicts, an empty or non-JSON file.
+bool IsWellFormedJson(const std::string& json, char open = '{') {
   size_t pos = 0;
   while (pos < json.size() && std::isspace(static_cast<unsigned char>(
                                   json[pos]))) {
     ++pos;
   }
-  if (pos == json.size() || json[pos] != '{') return false;
+  if (pos == json.size() || json[pos] != open) return false;
   std::vector<char> stack;
   bool in_string = false;
   bool escaped = false;
@@ -134,12 +165,91 @@ const Counter* Find(const std::vector<Counter>& counters,
 
 }  // namespace
 
+/// --check-metrics: schema-validate one metrics/report JSON object.
+int CheckMetrics(const char* path) {
+  std::string json;
+  if (!ReadFile(path, &json)) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 2;
+  }
+  if (!IsWellFormedJson(json)) {
+    std::fprintf(stderr, "check-metrics: %s is not a well-formed JSON object\n",
+                 path);
+    return 2;
+  }
+  const char* numeric_prefixes[] = {"wall_ms_", "gauge_", "hist_"};
+  size_t num_numeric = 0;
+  std::vector<Counter> metrics;
+  std::string bad_key;
+  for (const char* prefix : numeric_prefixes) {
+    metrics.clear();
+    if (!ParseMetrics(json, prefix, &metrics, &bad_key)) {
+      std::fprintf(stderr,
+                   "check-metrics: %s: \"%s\" has a non-numeric value\n", path,
+                   bad_key.c_str());
+      return 2;
+    }
+    num_numeric += metrics.size();
+  }
+  metrics.clear();
+  if (!ParseMetrics(json, "counter_", &metrics, &bad_key)) {
+    std::fprintf(stderr, "check-metrics: %s: \"%s\" has a non-numeric value\n",
+                 path, bad_key.c_str());
+    return 2;
+  }
+  for (const Counter& c : metrics) {
+    if (!IsIntegerLiteral(c.raw)) {
+      std::fprintf(stderr,
+                   "check-metrics: %s: \"%s\" must be an integer literal, "
+                   "got %s\n",
+                   path, c.key.c_str(), c.raw.c_str());
+      return 2;
+    }
+  }
+  if (metrics.empty()) {
+    std::fprintf(stderr, "check-metrics: %s has no counter_* metrics\n", path);
+    return 2;
+  }
+  std::printf(
+      "check-metrics: %s ok (%zu integral counters, %zu numeric "
+      "wall/gauge/hist keys)\n",
+      path, metrics.size(), num_numeric);
+  return 0;
+}
+
+/// --check-trace: structural validation of a Chrome trace_event array.
+int CheckTrace(const char* path) {
+  std::string json;
+  if (!ReadFile(path, &json)) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 2;
+  }
+  if (!IsWellFormedJson(json, '[')) {
+    std::fprintf(stderr, "check-trace: %s is not a well-formed JSON array\n",
+                 path);
+    return 2;
+  }
+  // Every event the recorder emits is a complete-duration ("ph": "X")
+  // record; count them for the summary line.
+  size_t events = 0;
+  for (size_t pos = 0; (pos = json.find("\"ph\"", pos)) != std::string::npos;
+       ++pos) {
+    ++events;
+  }
+  std::printf("check-trace: %s ok (%zu events)\n", path, events);
+  return 0;
+}
+
 int main(int argc, char** argv) {
   double max_slowdown = 0.15;
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--max-slowdown") && i + 1 < argc) {
       max_slowdown = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--check-metrics") && i + 1 < argc) {
+      return CheckMetrics(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--check-trace") && i + 1 < argc) {
+      return CheckTrace(argv[++i]);
     } else {
       files.push_back(argv[i]);
     }
@@ -147,7 +257,9 @@ int main(int argc, char** argv) {
   if (files.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_diff <baseline.json> <current.json> "
-                 "[--max-slowdown 0.15]\n");
+                 "[--max-slowdown 0.15]\n"
+                 "       bench_diff --check-metrics <metrics.json>\n"
+                 "       bench_diff --check-trace <trace.json>\n");
     return 2;
   }
 
@@ -194,25 +306,34 @@ int main(int argc, char** argv) {
   const std::vector<Counter> current =
       parse(current_json, files[1], "counter_");
 
-  // Wall-time deltas: informational only (host noise must never gate).
-  const std::vector<Counter> baseline_wall =
-      parse(baseline_json, files[0], "wall_ms_");
-  const std::vector<Counter> current_wall =
-      parse(current_json, files[1], "wall_ms_");
-  for (const Counter& now : current_wall) {
-    const Counter* base = Find(baseline_wall, now.key);
-    if (base == nullptr) {
-      std::printf("wall %s: %.6g ms (no baseline; informational)\n",
-                  now.key.c_str(), now.value);
-    } else if (base->value == 0.0) {
-      std::printf("wall %s: 0 -> %.6g ms (informational)\n", now.key.c_str(),
-                  now.value);
-    } else {
-      std::printf("wall %s: %.6g -> %.6g ms (%+.1f%%, informational)\n",
-                  now.key.c_str(), base->value, now.value,
-                  (now.value - base->value) / base->value * 100.0);
+  // Wall-time, histogram and gauge deltas: informational only (host noise
+  // must never gate). An unknown hist_/gauge_ key in either report is
+  // printed, never failed on.
+  const auto diff_informational = [&](const char* tag,
+                                      const std::string& prefix,
+                                      const char* unit) {
+    const std::vector<Counter> base_metrics =
+        parse(baseline_json, files[0], prefix);
+    const std::vector<Counter> now_metrics =
+        parse(current_json, files[1], prefix);
+    for (const Counter& now : now_metrics) {
+      const Counter* base = Find(base_metrics, now.key);
+      if (base == nullptr) {
+        std::printf("%s %s: %.6g%s (no baseline; informational)\n", tag,
+                    now.key.c_str(), now.value, unit);
+      } else if (base->value == 0.0) {
+        std::printf("%s %s: 0 -> %.6g%s (informational)\n", tag,
+                    now.key.c_str(), now.value, unit);
+      } else {
+        std::printf("%s %s: %.6g -> %.6g%s (%+.1f%%, informational)\n", tag,
+                    now.key.c_str(), base->value, now.value, unit,
+                    (now.value - base->value) / base->value * 100.0);
+      }
     }
-  }
+  };
+  diff_informational("wall", "wall_ms_", " ms");
+  diff_informational("hist", "hist_", "");
+  diff_informational("gauge", "gauge_", "");
   if (baseline.empty()) {
     std::printf("bench_diff: no tracked counters in %s; nothing to gate\n",
                 files[0]);

@@ -5,10 +5,12 @@
 // rows/series of one paper figure or table (see DESIGN.md §4) and a short
 // note tying the measured shape back to the paper's claim.
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -19,6 +21,7 @@
 #include "data/dataset.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/table_writer.h"
 #include "util/timer.h"
@@ -46,11 +49,18 @@ inline double Begin(const std::string& experiment_id,
 /// to suppress the file.
 ///
 /// Each table also records the wall time spent producing it (elapsed since
-/// the previous Table() call, or construction) as "wall_ms_<key>".
-/// Wall times are host-dependent and therefore informational only:
-/// bench_diff prints their deltas but never gates on them, and
-/// ci/update_baselines.sh strips them from the committed baselines (only
-/// the deterministic "counter_*" metrics gate).
+/// the previous Table() call, or construction) as "wall_ms_<key>", with
+/// fixed millisecond precision (%.3f) so reports never degrade to
+/// scientific notation or platform-dependent digit counts.
+///
+/// Write() additionally folds in the process metrics registry: every
+/// registry counter the bench's run bumped exports as "counter_<name>",
+/// gauges as "gauge_<name>", and histograms flattened to "hist_<name>_*"
+/// (count/sum/p50/p95/p99). Gating split: "counter_*" values are
+/// deterministic and gate via bench_diff; "wall_ms_*", "gauge_*" and
+/// "hist_*" are host-dependent and therefore informational only —
+/// bench_diff prints their deltas but never fails on them, and
+/// ci/update_baselines.sh strips them from the committed baselines.
 class JsonReport {
  public:
   /// `slug` should match the bench binary name, e.g. "fig3f_scaling".
@@ -65,16 +75,21 @@ class JsonReport {
     std::ostringstream json;
     table.PrintJson(json);
     entries_.emplace_back(key, json.str());
-    std::ostringstream ms;
-    ms << wall_ms;
-    entries_.emplace_back("wall_ms_" + key, ms.str());
+    entries_.emplace_back("wall_ms_" + key, FormatDouble(wall_ms));
   }
 
-  /// Records a scalar metric.
+  /// Records a scalar metric. Integral values (the counter_* family) are
+  /// written as JSON integers — the CI schema check requires it, and the
+  /// blessed baselines stay byte-comparable.
   void Metric(const std::string& key, double value) {
-    std::ostringstream json;
-    json << value;
-    entries_.emplace_back(key, json.str());
+    if (value == static_cast<double>(static_cast<int64_t>(value))) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%" PRId64,
+                    static_cast<int64_t>(value));
+      entries_.emplace_back(key, buf);
+    } else {
+      entries_.emplace_back(key, FormatDouble(value));
+    }
   }
 
   /// Writes BENCH_<slug>.json and prints its path; call once, last.
@@ -91,14 +106,48 @@ class JsonReport {
     out << "{\"bench\": \"" << slug_ << "\", \"scale\": "
         << eval::BenchScale() << ", \"blocking\": \""
         << core::BlockingStrategyName(eval::BenchBlocking()) << "\"";
+    std::set<std::string> seen;
     for (const auto& [key, json] : entries_) {
       out << ", \"" << key << "\": " << json;
+      seen.insert(key);
+    }
+    // Registry export. Explicit Metric()/Table() entries win on a key
+    // clash — a duplicate JSON key would make the report ill-formed.
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Global().Snapshot();
+    const auto emit = [&](const std::string& key, const std::string& value) {
+      if (!seen.insert(key).second) return;
+      out << ", \"" << key << "\": " << value;
+    };
+    char buf[32];
+    for (const auto& [name, value] : snapshot.counters) {
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+      emit("counter_" + name, buf);
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      emit("gauge_" + name, FormatDouble(value));
+    }
+    for (const auto& [name, stats] : snapshot.histograms) {
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, stats.count);
+      emit("hist_" + name + "_count", buf);
+      emit("hist_" + name + "_sum", FormatDouble(stats.sum));
+      emit("hist_" + name + "_p50", FormatDouble(stats.p50));
+      emit("hist_" + name + "_p95", FormatDouble(stats.p95));
+      emit("hist_" + name + "_p99", FormatDouble(stats.p99));
     }
     out << "}\n";
     std::printf("\nJSON report: %s\n", path.c_str());
   }
 
  private:
+  /// Fixed %.3f formatting: enough for milli/microsecond metrics, and
+  /// never scientific notation (which some JSON consumers reject).
+  static std::string FormatDouble(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    return buf;
+  }
+
   std::string slug_;
   std::vector<std::pair<std::string, std::string>> entries_;
   /// Wall clock of the current table section (reset by each Table()).

@@ -96,6 +96,20 @@ if [[ "${compared}" -eq 0 ]]; then
   exit 1
 fi
 
+echo "== observability exports (dedup_tool --metrics-json/--trace-json)"
+# Exercise the operational surface end to end on a tiny streamed workload,
+# then schema-check both artifacts: the metrics object must carry integral
+# counter_* keys and numeric wall_ms_/gauge_/hist_ keys; the trace must be
+# one well-formed trace_event JSON array.
+OBS_DIR="${BUILD_DIR}/obs-json"
+rm -rf "${OBS_DIR}"
+mkdir -p "${OBS_DIR}"
+"${BUILD_DIR}/dedup_tool" --generate dblp --scale 0.05 --stream \
+  --metrics-json="${OBS_DIR}/metrics.json" \
+  --trace-json="${OBS_DIR}/trace.json" > /dev/null
+"${BUILD_DIR}/bench_diff" --check-metrics "${OBS_DIR}/metrics.json"
+"${BUILD_DIR}/bench_diff" --check-trace "${OBS_DIR}/trace.json"
+
 if [[ "${CEM_CI_SKIP_ASAN:-0}" != "1" ]]; then
   echo "== ASAN configure (${ASAN_BUILD_DIR})"
   cmake -B "${ASAN_BUILD_DIR}" -S "${REPO_ROOT}" \

@@ -7,7 +7,7 @@
 //              [--blocking canopy|lsh] [--threads N]
 //              [--stream] [--stream-chunk N] [--arrival-seed S]
 //              [--snapshot-dir DIR] [--snapshot-every N] [--recover]
-//              [--fsync]
+//              [--fsync] [--metrics-json PATH] [--trace-json PATH]
 //
 // Reads a TSV corpus (see data/tsv_io.h; --generate synthesises one
 // instead), builds candidate pairs and a total cover, runs the chosen
@@ -31,6 +31,14 @@
 // continues the exact shuffle the crashed one fed, and passing
 // conflicting flags is an error rather than a silent divergence.
 // --fsync extends durability from process crashes to power loss.
+//
+// Observability: --metrics-json writes the process metrics registry
+// (counters, gauges, latency histograms — see src/obs/metrics.h) as one
+// flat JSON object at exit, and refreshes it periodically during --stream
+// ingest so an operator can watch a long run converge. --trace-json
+// enables scoped-span tracing and writes a Chrome trace_event array
+// (load it in chrome://tracing or Perfetto). Both accept --flag PATH and
+// --flag=PATH forms.
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +57,8 @@
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "mln/mln_matcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/recovery.h"
 #include "rules/rules_matcher.h"
 #include "stream/streaming_matcher.h"
@@ -92,6 +102,10 @@ struct Args {
   bool recover = false;
   /// fsync WAL appends and snapshot files (survive power loss).
   bool fsync = false;
+  /// Write the metrics registry as flat JSON here (empty = off).
+  std::string metrics_json;
+  /// Enable tracing and write a Chrome trace_event array here (empty = off).
+  std::string trace_json;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -102,6 +116,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return nullptr;
       }
       return argv[++i];
+    };
+    // `--flag=value` form (the observability flags document it).
+    auto eq_value = [&](const char* flag) -> const char* {
+      const size_t len = std::strlen(flag);
+      if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+        return argv[i] + len + 1;
+      }
+      return nullptr;
     };
     if (!std::strcmp(argv[i], "--input")) {
       const char* v = next("--input");
@@ -165,6 +187,18 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->recover = true;
     } else if (!std::strcmp(argv[i], "--fsync")) {
       args->fsync = true;
+    } else if (!std::strcmp(argv[i], "--metrics-json")) {
+      const char* v = next("--metrics-json");
+      if (!v) return false;
+      args->metrics_json = v;
+    } else if (const char* mv = eq_value("--metrics-json")) {
+      args->metrics_json = mv;
+    } else if (!std::strcmp(argv[i], "--trace-json")) {
+      const char* v = next("--trace-json");
+      if (!v) return false;
+      args->trace_json = v;
+    } else if (const char* tv = eq_value("--trace-json")) {
+      args->trace_json = tv;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return false;
@@ -209,6 +243,12 @@ bool ReadArrivalMeta(const std::string& dir, uint64_t* seed,
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return 2;
+
+  // --trace-json opts into span recording (otherwise spans cost two clock
+  // reads and a relaxed load each — cheap enough to leave compiled in).
+  if (!args.trace_json.empty()) {
+    obs::TraceRecorder::Global().SetEnabled(true);
+  }
 
   // --- execution context: --threads gets a dedicated pool, otherwise the
   // process-wide shared one (CEM_THREADS). Flows through candidate
@@ -276,6 +316,19 @@ int main(int argc, char** argv) {
     }
     stream::StreamingOptions options;
     options.context = &ctx;
+    if (!args.metrics_json.empty()) {
+      // Periodic operational snapshot: refresh the stream gauges and
+      // rewrite the metrics file every ~1k inserts so a long ingest is
+      // observable while it runs, not only at exit.
+      options.metrics_every_inserts = 1024;
+      options.metrics_hook = [&args](const stream::StreamingMatcher&) {
+        const Status written = obs::WriteMetricsJson(args.metrics_json);
+        if (!written.ok()) {
+          std::fprintf(stderr, "warning: %s\n",
+                       written.ToString().c_str());
+        }
+      };
+    }
     size_t num_refs = 0;
     size_t num_chunks = 0;
     stream::StreamingStats s;
@@ -454,6 +507,26 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %zu pairs to %s\n", clusters.size(),
                 args.output.c_str());
+  }
+
+  // --- observability exports (final state; the stream hook may have
+  // written interim metrics snapshots already).
+  if (!args.metrics_json.empty()) {
+    const Status written = obs::WriteMetricsJson(args.metrics_json);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics: %s\n", args.metrics_json.c_str());
+  }
+  if (!args.trace_json.empty()) {
+    const Status written =
+        obs::TraceRecorder::Global().WriteJson(args.trace_json);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %s\n", args.trace_json.c_str());
   }
   return 0;
 }

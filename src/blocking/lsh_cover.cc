@@ -4,6 +4,8 @@
 
 #include "blocking/blocking_tokens.h"
 #include "core/cover_assembly.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace cem::blocking {
@@ -18,16 +20,29 @@ core::Cover BuildLshCover(const data::Dataset& dataset,
                                  : ExecutionContext::Default();
 
   // Signatures + sharded banded index over author refs (dense doc ids =
-  // position), all phases parallel on ctx.
+  // position), all phases parallel on ctx. Each stage runs under a trace
+  // span so `dedup_tool --trace-json` shows the build as a flame chart.
   std::vector<std::vector<std::string>> token_sets(refs.size());
-  ParallelFor(ctx.pool(), refs.size(), [&](size_t i) {
-    token_sets[i] = AuthorBlockingTokens(dataset.entity(refs[i]));
-  });
+  {
+    CEM_TRACE("blocking/tokenize");
+    ParallelFor(ctx.pool(), refs.size(), [&](size_t i) {
+      token_sets[i] = AuthorBlockingTokens(dataset.entity(refs[i]));
+    });
+  }
   const MinHasher hasher(options.minhash);
-  const std::vector<std::vector<uint64_t>> signatures =
-      hasher.SignatureBatch(token_sets, ctx);
+  std::vector<std::vector<uint64_t>> signatures;
+  {
+    CEM_TRACE("blocking/minhash");
+    signatures = hasher.SignatureBatch(token_sets, ctx);
+  }
   LshIndex index(options.lsh, hasher.num_hashes(), ctx.num_shards());
-  index.AddDocuments(signatures, ctx);
+  {
+    CEM_TRACE("blocking/lsh_build");
+    index.AddDocuments(signatures, ctx);
+  }
+  static obs::Counter& signatures_counter =
+      obs::MetricsRegistry::Global().counter("blocking_minhash_signatures");
+  signatures_counter.Add(refs.size());
 
   // Canopy-style assembly over LSH candidates: random seed order; banding
   // plays the loose filter, estimated Jaccard plays the tight rule. The
@@ -45,13 +60,23 @@ core::Cover BuildLshCover(const data::Dataset& dataset,
     return out;
   };
   size_t pairs_considered = 0;
-  core::Cover cover =
-      core::AssembleCanopies(refs, options.seed.value_or(ctx.seed()),
-                             options.tight, candidate_fn, ctx,
-                             &pairs_considered);
+  core::Cover cover;
+  {
+    CEM_TRACE("blocking/assemble_canopies");
+    cover = core::AssembleCanopies(refs, options.seed.value_or(ctx.seed()),
+                                   options.tight, candidate_fn, ctx,
+                                   &pairs_considered);
+  }
   if (options.stats != nullptr) {
     options.stats->pairs_considered = pairs_considered;
   }
+  // Serial point, deterministic totals: safe to export as gated counter_*.
+  static obs::Counter& pairs_counter =
+      obs::MetricsRegistry::Global().counter("blocking_lsh_pairs_considered");
+  static obs::Counter& covers_counter =
+      obs::MetricsRegistry::Global().counter("blocking_covers_built");
+  pairs_counter.Add(pairs_considered);
+  covers_counter.Add(1);
 
   if (options.ensure_pair_coverage) {
     core::PatchPairCoverage(dataset, cover, ctx);

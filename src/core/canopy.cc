@@ -4,6 +4,8 @@
 
 #include "blocking/blocking_tokens.h"
 #include "core/cover_assembly.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/token_index.h"
 #include "util/logging.h"
 
@@ -22,11 +24,20 @@ Cover BuildCanopyCover(const data::Dataset& dataset,
   // position): token extraction and the postings build both run on ctx,
   // with each worker owning whole token shards.
   std::vector<std::vector<std::string>> token_sets(refs.size());
-  ParallelFor(ctx.pool(), refs.size(), [&](size_t i) {
-    token_sets[i] = blocking::AuthorBlockingTokens(dataset.entity(refs[i]));
-  });
+  {
+    CEM_TRACE("blocking/tokenize");
+    ParallelFor(ctx.pool(), refs.size(), [&](size_t i) {
+      token_sets[i] = blocking::AuthorBlockingTokens(dataset.entity(refs[i]));
+    });
+  }
   text::TokenIndex index(ctx.num_token_shards());
-  index.AddDocuments(token_sets, ctx);
+  {
+    CEM_TRACE("blocking/token_index_build");
+    index.AddDocuments(token_sets, ctx);
+  }
+  static obs::Counter& postings_counter =
+      obs::MetricsRegistry::Global().counter("blocking_token_postings");
+  postings_counter.Add(index.num_postings());
 
   // Canopies: random seed order; loose joins, tight removes from seed pool.
   // The postings scans run in parallel batches; the seed loop replays
@@ -40,10 +51,19 @@ Cover BuildCanopyCover(const data::Dataset& dataset,
     return out;
   };
   size_t pairs_scored = 0;
-  Cover cover =
-      AssembleCanopies(refs, options.seed.value_or(ctx.seed()), options.tight,
-                       candidate_fn, ctx, &pairs_scored);
+  Cover cover;
+  {
+    CEM_TRACE("blocking/assemble_canopies");
+    cover = AssembleCanopies(refs, options.seed.value_or(ctx.seed()),
+                             options.tight, candidate_fn, ctx, &pairs_scored);
+  }
   if (options.stats != nullptr) options.stats->pairs_considered = pairs_scored;
+  static obs::Counter& pairs_counter = obs::MetricsRegistry::Global().counter(
+      "blocking_canopy_pairs_considered");
+  static obs::Counter& covers_counter =
+      obs::MetricsRegistry::Global().counter("blocking_covers_built");
+  pairs_counter.Add(pairs_scored);
+  covers_counter.Add(1);
 
   // Patch: make the cover total over Similar — every candidate pair inside
   // some neighborhood.

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace cem::core {
@@ -217,6 +219,7 @@ constexpr size_t kPatchChunk = 64;
 
 void PatchPairCoverage(const data::Dataset& dataset, Cover& cover,
                        const ExecutionContext& ctx, PatchStats* stats) {
+  CEM_TRACE("core/patch_pair_coverage");
   CoverMembership homes(cover);
   const auto together = [&homes](data::EntityId a, data::EntityId b) {
     return homes.Together(a, b);
@@ -263,10 +266,21 @@ void PatchPairCoverage(const data::Dataset& dataset, Cover& cover,
     stats->pairs_patched = patched;
     stats->pairs_rechecked = rechecked;
   }
+  // Registry counters bump once per pass, at the serial tail, with the
+  // already-deterministic totals — never inside the speculative batches —
+  // so the exported counter_* values hold the thread/shard-invariance
+  // contract (pinned by the obs determinism suite).
+  static obs::Counter& patched_counter =
+      obs::MetricsRegistry::Global().counter("core_pairs_patched");
+  static obs::Counter& rechecked_counter =
+      obs::MetricsRegistry::Global().counter("core_pairs_rechecked");
+  patched_counter.Add(patched);
+  rechecked_counter.Add(rechecked);
 }
 
 void ExpandCoauthorBoundary(const data::Dataset& dataset, Cover& cover,
                             const ExecutionContext& ctx) {
+  CEM_TRACE("core/expand_coauthor_boundary");
   // Each iteration mutates only neighborhood i (AddEntityTo never resizes
   // the neighborhood vector itself), so neighborhoods expand in parallel
   // without synchronisation; AddEntityTo keeps members sorted/unique, so

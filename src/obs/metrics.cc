@@ -1,0 +1,273 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace cem::obs {
+
+namespace internal_metrics {
+
+uint32_t ThreadSlot() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace internal_metrics
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  CEM_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  CEM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+            std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end())
+      << "histogram bounds must be strictly ascending";
+  for (Slot& slot : slots_) {
+    slot.buckets =
+        std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i) slot.buckets[i] = 0;
+  }
+}
+
+std::vector<double> Histogram::DefaultLatencyBoundsUs() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.0);
+    bounds.push_back(decade * 5.0);
+  }
+  bounds.push_back(1e7);  // 10s.
+  bounds.push_back(3e7);  // 30s: anything slower is the overflow bucket.
+  return bounds;
+}
+
+void Histogram::Record(double value) {
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  Slot& slot =
+      slots_[internal_metrics::ThreadSlot() & (kMetricSlots - 1)];
+  slot.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  slot.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::MergedBuckets(std::vector<uint64_t>* buckets, uint64_t* total,
+                              double* sum) const {
+  buckets->assign(bounds_.size() + 1, 0);
+  *total = 0;
+  *sum = 0.0;
+  for (const Slot& slot : slots_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      const uint64_t n = slot.buckets[i].load(std::memory_order_relaxed);
+      (*buckets)[i] += n;
+      *total += n;
+    }
+    *sum += slot.sum.load(std::memory_order_relaxed);
+  }
+}
+
+uint64_t Histogram::Count() const {
+  std::vector<uint64_t> buckets;
+  uint64_t total = 0;
+  double sum = 0.0;
+  MergedBuckets(&buckets, &total, &sum);
+  return total;
+}
+
+double Histogram::Sum() const {
+  std::vector<uint64_t> buckets;
+  uint64_t total = 0;
+  double sum = 0.0;
+  MergedBuckets(&buckets, &total, &sum);
+  return sum;
+}
+
+double Histogram::Percentile(double q) const {
+  std::vector<uint64_t> buckets;
+  uint64_t total = 0;
+  double sum = 0.0;
+  MergedBuckets(&buckets, &total, &sum);
+  if (total == 0) return 0.0;
+  const double target = std::clamp(q, 0.0, 1.0) * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      if (i == bounds_.size()) return bounds_.back();  // Overflow bucket.
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double within =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[i]);
+      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
+HistogramStats Histogram::Stats() const {
+  std::vector<uint64_t> buckets;
+  HistogramStats stats;
+  MergedBuckets(&buckets, &stats.count, &stats.sum);
+  if (stats.count == 0) return stats;
+  // One merged read per percentile keeps this simple; snapshots race with
+  // writers by design (monitoring reads are always approximate in time).
+  stats.p50 = Percentile(0.50);
+  stats.p95 = Percentile(0.95);
+  stats.p99 = Percentile(0.99);
+  return stats;
+}
+
+void Histogram::Reset() {
+  for (Slot& slot : slots_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      slot.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    slot.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// --- MetricsSnapshot --------------------------------------------------------
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ", ";
+    first = false;
+  };
+  char buf[64];
+  for (const auto& [name, value] : counters) {
+    sep();
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    out << "\"counter_" << name << "\": " << buf;
+  }
+  for (const auto& [name, value] : gauges) {
+    sep();
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out << "\"gauge_" << name << "\": " << buf;
+  }
+  for (const auto& [name, stats] : histograms) {
+    sep();
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, stats.count);
+    out << "\"hist_" << name << "_count\": " << buf;
+    const std::pair<const char*, double> quantiles[] = {
+        {"sum", stats.sum}, {"p50", stats.p50}, {"p95", stats.p95},
+        {"p99", stats.p99}};
+    for (const auto& [suffix, value] : quantiles) {
+      std::snprintf(buf, sizeof(buf), "%.3f", value);
+      out << ", \"hist_" << name << "_" << suffix << "\": " << buf;
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(
+    std::string_view name, Kind kind, std::vector<double>* bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>(
+            bounds != nullptr ? std::move(*bounds)
+                              : Histogram::DefaultLatencyBoundsUs());
+        break;
+    }
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  CEM_CHECK(it->second.kind == kind)
+      << "metric '" << std::string(name)
+      << "' already registered as a different kind";
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return *FindOrCreate(name, Kind::kCounter, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return *FindOrCreate(name, Kind::kGauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return *FindOrCreate(name, Kind::kHistogram, nullptr).histogram;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  return *FindOrCreate(name, Kind::kHistogram, &bounds).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snapshot.counters[name] = entry.counter->Value();
+        break;
+      case Kind::kGauge:
+        snapshot.gauges[name] = entry.gauge->Value();
+        break;
+      case Kind::kHistogram:
+        snapshot.histograms[name] = entry.histogram->Stats();
+        break;
+    }
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->Set(0.0);
+        break;
+      case Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+Status WriteMetricsJson(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return InternalError("cannot write metrics to " + path);
+  out << MetricsRegistry::Global().Snapshot().ToJson();
+  out.flush();
+  if (!out) return InternalError("short write to " + path);
+  return OkStatus();
+}
+
+}  // namespace cem::obs

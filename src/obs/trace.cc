@@ -1,0 +1,117 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace cem::obs {
+namespace {
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+uint32_t TraceThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+uint64_t TraceNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+bool TraceRecorder::ParseEnabledValue(const char* value) {
+  return value != nullptr && value[0] != '\0' && std::strcmp(value, "0") != 0;
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = [] {
+    auto* r = new TraceRecorder();
+    r->SetEnabled(ParseEnabledValue(std::getenv("CEM_TRACE")));
+    return r;
+  }();
+  return *recorder;
+}
+
+TraceRecorder::ThreadLog& TraceRecorder::LocalLog() {
+  thread_local std::shared_ptr<ThreadLog> log = [this] {
+    auto created = std::make_shared<ThreadLog>();
+    std::lock_guard<std::mutex> lock(mu_);
+    logs_.push_back(created);
+    return created;
+  }();
+  return *log;
+}
+
+void TraceRecorder::Record(const TraceEvent& event) {
+  ThreadLog& log = LocalLog();
+  std::lock_guard<std::mutex> lock(log.mu);
+  log.events.push_back(event);
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    out.insert(out.end(), log->events.begin(), log->events.end());
+  }
+  return out;
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  const std::vector<TraceEvent> events = Events();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return InternalError("cannot write trace to " + path);
+  // Chrome trace_event "JSON array format": a bare array of complete
+  // events; ts/dur are microseconds (fractions allowed).
+  out << "[";
+  char buf[192];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n{\"name\": \"%s\", \"cat\": \"cem\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                  i == 0 ? "" : ",", e.name,
+                  static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.duration_ns) / 1e3, e.tid);
+    out << buf;
+  }
+  out << "\n]\n";
+  out.flush();
+  if (!out) return InternalError("short write to " + path);
+  return OkStatus();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    log->events.clear();
+  }
+}
+
+void TraceSpan::Finish(void* self, double elapsed_ms) {
+  auto* span = static_cast<TraceSpan*>(self);
+  if (span->latency_us_ != nullptr) {
+    span->latency_us_->Record(elapsed_ms * 1e3);
+  }
+  if (span->traced_) {
+    TraceRecorder::Global().Record(
+        {span->name_, span->start_ns_,
+         static_cast<uint64_t>(elapsed_ms * 1e6), TraceThreadId()});
+  }
+}
+
+}  // namespace cem::obs

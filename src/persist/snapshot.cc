@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "data/entity.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace cem::persist {
@@ -142,6 +144,12 @@ Status SaveSnapshot(const std::string& dir,
     return FailedPreconditionError(
         "snapshots are only taken at quiescent points");
   }
+  static obs::Histogram& save_hist =
+      obs::MetricsRegistry::Global().histogram("persist_snapshot_save_us");
+  static obs::Counter& saves_counter =
+      obs::MetricsRegistry::Global().counter("persist_snapshots_saved");
+  CEM_TRACE_TIMED("persist/snapshot_save", &save_hist);
+  saves_counter.Add(1);
   const stream::IncrementalCover& cover = matcher.incremental_cover();
   const blocking::LshIndex& index = cover.lsh_index();
   const size_t n = cover.slots().size();
@@ -301,6 +309,12 @@ std::vector<SnapshotRef> ListSnapshots(const std::string& dir) {
 
 Status LoadSnapshot(const std::string& snap_dir,
                     stream::StreamingMatcher& matcher) {
+  static obs::Histogram& load_hist =
+      obs::MetricsRegistry::Global().histogram("persist_snapshot_load_us");
+  static obs::Counter& loads_counter =
+      obs::MetricsRegistry::Global().counter("persist_snapshots_loaded");
+  CEM_TRACE_TIMED("persist/snapshot_load", &load_hist);
+  loads_counter.Add(1);
   const stream::IncrementalCover& cover = matcher.incremental_cover();
   const ExecutionContext& ctx = Resolve(matcher);
   const fs::path base(snap_dir);

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cem::persist {
 namespace {
 
@@ -43,12 +46,28 @@ Status WalWriter::AppendChunk(const std::vector<data::EntityId>& refs) {
     return FailedPreconditionError("WAL not open (Create/OpenForAppend)");
   }
   if (refs.empty()) return InvalidArgumentError("empty WAL chunk");
+  // The append histogram spans the whole durability point (encode + write
+  // + flush/fsync); the fsync histogram isolates the disk-barrier part so
+  // the PersistOptions::fsync tax is visible on its own.
+  static obs::Histogram& append_hist =
+      obs::MetricsRegistry::Global().histogram("persist_wal_append_us");
+  static obs::Counter& appends_counter =
+      obs::MetricsRegistry::Global().counter("persist_wal_appends");
+  static obs::Counter& bytes_counter =
+      obs::MetricsRegistry::Global().counter("persist_wal_append_bytes");
+  CEM_TRACE_TIMED("persist/wal_append", &append_hist);
   io::Buffer payload;
   payload.PutU8(kChunkRecord);
   payload.PutU32(static_cast<uint32_t>(refs.size()));
   for (data::EntityId ref : refs) payload.PutU32(ref);
   CEM_RETURN_IF_ERROR(io::WriteRecord(*file_, payload.bytes()));
-  return sync_ ? file_->Sync() : file_->Flush();
+  appends_counter.Add(1);
+  bytes_counter.Add(payload.bytes().size());
+  if (!sync_) return file_->Flush();
+  static obs::Histogram& fsync_hist =
+      obs::MetricsRegistry::Global().histogram("persist_wal_fsync_us");
+  CEM_TRACE_TIMED("persist/wal_fsync", &fsync_hist);
+  return file_->Sync();
 }
 
 Result<WalContents> ReadWal(const std::string& path,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace cem::stream {
@@ -11,6 +13,13 @@ namespace {
 const ExecutionContext& Resolve(const StreamingOptions& options) {
   return options.context != nullptr ? *options.context
                                     : ExecutionContext::Default();
+}
+
+/// Bucket bounds of the per-insert canopies-touched histogram: counts, not
+/// durations — the amortized-work claim says these stay single-digit while
+/// the cover grows, so the interesting resolution is at the low end.
+std::vector<double> CanopiesTouchedBounds() {
+  return {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128};
 }
 
 }  // namespace
@@ -29,8 +38,11 @@ void StreamingMatcher::Activate(uint32_t n) {
 }
 
 void StreamingMatcher::Add(data::EntityId ref) {
-  for (uint32_t n : icover_.Insert(ref)) Activate(n);
+  const std::vector<uint32_t> dirty = icover_.Insert(ref);
+  for (uint32_t n : dirty) Activate(n);
+  RecordInsert(dirty.size());
   Drain();
+  MaybePublishMetrics();
 }
 
 void StreamingMatcher::AddBatch(const std::vector<data::EntityId>& refs) {
@@ -44,11 +56,36 @@ void StreamingMatcher::AddBatch(const std::vector<data::EntityId>& refs) {
   // Serial phase: index/cover updates replay in `refs` order, so the
   // result is bit-identical to one-at-a-time ingest of the same order.
   for (size_t i = 0; i < refs.size(); ++i) {
-    for (uint32_t n : icover_.Insert(refs[i], std::move(signatures[i]))) {
-      Activate(n);
-    }
+    const std::vector<uint32_t> dirty =
+        icover_.Insert(refs[i], std::move(signatures[i]));
+    for (uint32_t n : dirty) Activate(n);
+    RecordInsert(dirty.size());
   }
   Drain();
+  MaybePublishMetrics();
+}
+
+void StreamingMatcher::RecordInsert(size_t canopies_touched) {
+  static obs::Counter& inserts =
+      obs::MetricsRegistry::Global().counter("stream_inserts");
+  static obs::Histogram& touched = obs::MetricsRegistry::Global().histogram(
+      "stream_canopies_touched_per_insert", CanopiesTouchedBounds());
+  inserts.Add(1);
+  touched.Record(static_cast<double>(canopies_touched));
+}
+
+void StreamingMatcher::MaybePublishMetrics() {
+  const size_t every = options_.metrics_every_inserts;
+  if (every == 0 || num_live() < metrics_published_at_ + every) return;
+  metrics_published_at_ = num_live();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.gauge("stream_live_refs").Set(static_cast<double>(num_live()));
+  registry.gauge("stream_neighborhoods")
+      .Set(static_cast<double>(icover_.cover().size()));
+  registry.gauge("stream_matches").Set(static_cast<double>(matches_.size()));
+  registry.gauge("stream_max_neighborhood")
+      .Set(static_cast<double>(icover_.max_neighborhood_size()));
+  if (options_.metrics_hook) options_.metrics_hook(*this);
 }
 
 Status StreamingMatcher::RestoreState(StreamingMatcherState state) {
@@ -88,6 +125,13 @@ size_t StreamingMatcher::PairsInside(uint32_t n) const {
 }
 
 void StreamingMatcher::Drain() {
+  // Always-on drain-latency histogram (the pre-serve p50/p99 story) plus a
+  // flame-chart span when tracing is enabled.
+  static obs::Histogram& drain_hist =
+      obs::MetricsRegistry::Global().histogram("stream_drain_us");
+  CEM_TRACE_TIMED("stream/drain", &drain_hist);
+  const size_t evaluations_before = matching_stats_.neighborhood_evaluations;
+  const size_t rescored_before = matching_stats_.pairs_rescored;
   const core::Cover& cover = icover_.cover();
   // Safety cap, mirroring core::RunSmp: convergence is guaranteed for
   // well-behaved matchers; the cap only guards buggy custom matchers.
@@ -139,6 +183,15 @@ void StreamingMatcher::Drain() {
       }
     }
   }
+  // One registry bump per drain with the serial deltas — deterministic for
+  // a fixed arrival order, like the MatchingStats they mirror.
+  static obs::Counter& evals_counter =
+      obs::MetricsRegistry::Global().counter("stream_drain_evaluations");
+  static obs::Counter& rescored_counter =
+      obs::MetricsRegistry::Global().counter("stream_drain_pairs_rescored");
+  evals_counter.Add(matching_stats_.neighborhood_evaluations -
+                    evaluations_before);
+  rescored_counter.Add(matching_stats_.pairs_rescored - rescored_before);
 }
 
 }  // namespace cem::stream

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "core/cover.h"
@@ -14,6 +15,8 @@
 #include "util/execution_context.h"
 
 namespace cem::stream {
+
+class StreamingMatcher;
 
 /// Options of the streaming front door.
 struct StreamingOptions {
@@ -27,6 +30,14 @@ struct StreamingOptions {
   /// Safety cap on neighborhood evaluations per convergence drain
   /// (0 = the theoretical n * k^2 bound, like core::MpOptions).
   size_t max_evaluations = 0;
+  /// Periodic metrics snapshot: every this many inserts (0 = off) the
+  /// matcher refreshes the process metrics registry's stream gauges
+  /// (live refs, neighborhoods, matches, max neighborhood size) and
+  /// invokes `metrics_hook`, if set — the operational surface a serving
+  /// layer or `dedup_tool --metrics-json` watches mid-ingest. The hook
+  /// runs at a quiescent point (after the drain), on the ingest thread.
+  size_t metrics_every_inserts = 0;
+  std::function<void(const StreamingMatcher&)> metrics_hook;
 };
 
 /// Counters of the matching side of the stream (the ingest side lives in
@@ -154,6 +165,13 @@ class StreamingMatcher {
   /// Runs the SMP loop until the active set drains.
   void Drain();
 
+  /// Per-insert observability: canopies-touched histogram + insert counter.
+  void RecordInsert(size_t canopies_touched);
+
+  /// Publishes registry gauges + fires the metrics hook when the insert
+  /// count crossed the next metrics_every_inserts boundary.
+  void MaybePublishMetrics();
+
   /// Candidate pairs fully inside neighborhood `n` (re-scoring work).
   size_t PairsInside(uint32_t n) const;
 
@@ -165,6 +183,8 @@ class StreamingMatcher {
   /// Persistent FIFO active set across Add() calls.
   std::deque<uint32_t> active_;
   std::vector<uint8_t> queued_;  // Grows with the cover.
+  /// num_live() at the last metrics publication (metrics_every_inserts).
+  size_t metrics_published_at_ = 0;
 };
 
 }  // namespace cem::stream

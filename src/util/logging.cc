@@ -1,13 +1,14 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
 namespace cem {
 namespace {
-
-std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
 
 char SeverityLetter(LogSeverity severity) {
   switch (severity) {
@@ -23,10 +24,85 @@ char SeverityLetter(LogSeverity severity) {
   return '?';
 }
 
+/// Startup severity: CEM_LOG_LEVEL, resolved once before the first
+/// emission; SetMinLogSeverity overrides it for the rest of the process.
+std::atomic<LogSeverity>& MinSeverityFlag() {
+  static std::atomic<LogSeverity> flag{[] {
+    bool fell_back = false;
+    const LogSeverity severity =
+        ResolveLogSeverityEnvValue(std::getenv("CEM_LOG_LEVEL"), &fell_back);
+    if (fell_back) {
+      std::fprintf(stderr,
+                   "[W] CEM_LOG_LEVEL=\"%s\" is not a severity "
+                   "(info|warning|error|fatal); logging at info\n",
+                   std::getenv("CEM_LOG_LEVEL"));
+    }
+    return severity;
+  }()};
+  return flag;
+}
+
+/// "YYYY-MM-DD HH:MM:SS.mmm" wall-clock stamp of `now` into `buf`.
+void FormatWallClock(char* buf, size_t len) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_buf{};
+#if defined(_WIN32)
+  localtime_s(&tm_buf, &seconds);
+#else
+  localtime_r(&seconds, &tm_buf);
+#endif
+  const size_t date_len = std::strftime(buf, len, "%Y-%m-%d %H:%M:%S", &tm_buf);
+  std::snprintf(buf + date_len, len - date_len, ".%03d", millis);
+}
+
+/// Touching the flag here resolves CEM_LOG_LEVEL (and prints the
+/// bad-value warning) at process startup, not at the first emission —
+/// a process that never logs still reports a misspelled level.
+[[maybe_unused]] const LogSeverity kSeverityResolvedAtStartup =
+    MinSeverityFlag().load();
+
 }  // namespace
 
-void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
-LogSeverity MinLogSeverity() { return g_min_severity; }
+void SetMinLogSeverity(LogSeverity severity) { MinSeverityFlag() = severity; }
+LogSeverity MinLogSeverity() { return MinSeverityFlag(); }
+
+std::optional<LogSeverity> ParseLogSeverity(std::string_view value) {
+  std::string lower;
+  lower.reserve(value.size());
+  for (char c : value) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "info" || lower == "0") return LogSeverity::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "1") {
+    return LogSeverity::kWarning;
+  }
+  if (lower == "error" || lower == "2") return LogSeverity::kError;
+  if (lower == "fatal" || lower == "3") return LogSeverity::kFatal;
+  return std::nullopt;
+}
+
+LogSeverity ResolveLogSeverityEnvValue(const char* value, bool* fell_back) {
+  if (fell_back != nullptr) *fell_back = false;
+  if (value == nullptr || value[0] == '\0') return LogSeverity::kInfo;
+  const std::optional<LogSeverity> parsed = ParseLogSeverity(value);
+  if (parsed.has_value()) return *parsed;
+  if (fell_back != nullptr) *fell_back = true;
+  return LogSeverity::kInfo;
+}
+
+uint32_t LogThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 namespace internal_logging {
 
@@ -35,7 +111,10 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
-    std::fprintf(stderr, "[%c %s:%d] %s\n", SeverityLetter(severity_), file_,
+    char stamp[40];
+    FormatWallClock(stamp, sizeof(stamp));
+    std::fprintf(stderr, "[%c %s t%02u %s:%d] %s\n",
+                 SeverityLetter(severity_), stamp, LogThreadId(), file_,
                  line_, stream_.str().c_str());
   }
   if (severity_ == LogSeverity::kFatal) std::abort();

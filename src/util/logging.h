@@ -1,17 +1,38 @@
 #ifndef CEM_UTIL_LOGGING_H_
 #define CEM_UTIL_LOGGING_H_
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace cem {
 
 enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
 
-/// Minimum severity that is actually emitted; defaults to kInfo. Benchmarks
-/// raise this to keep their table output clean.
+/// Minimum severity that is actually emitted. The startup default comes
+/// from the CEM_LOG_LEVEL environment variable (info|warning|error|fatal,
+/// case-insensitive, or the numeric 0-3; unset/empty means Info, anything
+/// else falls back to Info with a warning). An explicit call overrides the
+/// environment — benchmarks raise this to keep their table output clean.
 void SetMinLogSeverity(LogSeverity severity);
 LogSeverity MinLogSeverity();
+
+/// Parses a severity name ("info", "Warning", "ERROR", "fatal", "0".."3").
+/// nullopt on anything else; never warns (the env resolution does).
+std::optional<LogSeverity> ParseLogSeverity(std::string_view value);
+
+/// Resolves a CEM_LOG_LEVEL value to the startup severity: null/empty maps
+/// to Info silently; an unparseable value maps to Info and sets
+/// `*fell_back` (the startup path also prints a one-line warning). Split
+/// out so the env parsing is unit-testable without mutating the process
+/// environment.
+LogSeverity ResolveLogSeverityEnvValue(const char* value,
+                                       bool* fell_back = nullptr);
+
+/// Small sequential id of the calling thread, assigned on first log line —
+/// what the `t<N>` field of every emitted line shows.
+uint32_t LogThreadId();
 
 namespace internal_logging {
 

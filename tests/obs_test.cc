@@ -1,0 +1,363 @@
+// Observability suite: the metrics registry (sharded counters, gauges,
+// fixed-bucket histograms), the scoped-span trace recorder, and the
+// determinism contract the CI bench gate rests on — registry counters
+// bumped by the instrumented pipeline must be bit-identical for any
+// thread and shard count. The concurrency tests hammer the lock-free hot
+// paths from ExecutionContext threads and run under TSAN in CI (this
+// suite carries the tier1-concurrency label).
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/lsh_cover.h"
+#include "data/bib_generator.h"
+#include "mln/mln_matcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "stream/streaming_matcher.h"
+#include "util/execution_context.h"
+#include "util/random.h"
+
+namespace cem {
+namespace {
+
+namespace fs = std::filesystem;
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::HistogramStats;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::TraceRecorder;
+
+uint32_t HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// ---------------------------------------------------------------- Counter --
+
+TEST(CounterTest, AddAndMergeAcrossSlots) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsSumExactly) {
+  Counter counter;
+  const ExecutionContext ctx(HardwareThreads());
+  constexpr size_t kTasks = 10000;
+  ParallelFor(ctx.pool(), kTasks, [&](size_t i) { counter.Add(i % 7 + 1); });
+  uint64_t expected = 0;
+  for (size_t i = 0; i < kTasks; ++i) expected += i % 7 + 1;
+  EXPECT_EQ(counter.Value(), expected);
+}
+
+// ------------------------------------------------------------------ Gauge --
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(3.5);
+  gauge.Set(-1.25);
+  EXPECT_EQ(gauge.Value(), -1.25);
+}
+
+// -------------------------------------------------------------- Histogram --
+
+TEST(HistogramTest, CountSumAndPercentilesOnKnownData) {
+  Histogram hist({1, 2, 5, 10});
+  for (int i = 0; i < 100; ++i) hist.Record(1.5);  // Bucket (1, 2].
+  EXPECT_EQ(hist.Count(), 100u);
+  EXPECT_DOUBLE_EQ(hist.Sum(), 150.0);
+  // Every sample sits in one bucket: all percentiles interpolate inside
+  // (1, 2].
+  const HistogramStats stats = hist.Stats();
+  EXPECT_GT(stats.p50, 1.0);
+  EXPECT_LE(stats.p50, 2.0);
+  EXPECT_GT(stats.p99, stats.p50 - 1e-12);
+  EXPECT_LE(stats.p99, 2.0);
+}
+
+TEST(HistogramTest, EmptyStatsAreZero) {
+  Histogram hist(Histogram::DefaultLatencyBoundsUs());
+  const HistogramStats stats = hist.Stats();
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.sum, 0.0);
+  EXPECT_EQ(stats.p50, 0.0);
+  EXPECT_EQ(stats.p99, 0.0);
+}
+
+TEST(HistogramTest, OverflowBucketClampsToLastBound) {
+  Histogram hist({1, 2});
+  hist.Record(1e9);
+  EXPECT_EQ(hist.Count(), 1u);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 2.0);
+}
+
+TEST(HistogramTest, DefaultLatencyBoundsAreStrictlyAscending) {
+  const std::vector<double> bounds = Histogram::DefaultLatencyBoundsUs();
+  ASSERT_FALSE(bounds.empty());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "at index " << i;
+  }
+  // Microsecond ladder: sub-millisecond resolution at the low end, 30s cap.
+  EXPECT_EQ(bounds.front(), 1.0);
+  EXPECT_EQ(bounds.back(), 3e7);
+}
+
+TEST(HistogramTest, ConcurrentRecordsCountExactly) {
+  Histogram hist({10, 100, 1000});
+  const ExecutionContext ctx(HardwareThreads());
+  constexpr size_t kTasks = 10000;
+  ParallelFor(ctx.pool(), kTasks,
+              [&](size_t i) { hist.Record(static_cast<double>(i % 2000)); });
+  EXPECT_EQ(hist.Count(), kTasks);
+  // Integral samples below 2^53: the sharded double sums add exactly.
+  double expected = 0.0;
+  for (size_t i = 0; i < kTasks; ++i) expected += static_cast<double>(i % 2000);
+  EXPECT_DOUBLE_EQ(hist.Sum(), expected);
+}
+
+// --------------------------------------------------------------- Registry --
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("hits");
+  Counter& b = registry.counter("hits");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3u);
+}
+
+TEST(MetricsRegistryTest, CustomHistogramBoundsApplyOnFirstRegistration) {
+  MetricsRegistry registry;
+  Histogram& first = registry.histogram("touched", {1, 2, 3});
+  EXPECT_EQ(first.bounds(), (std::vector<double>{1, 2, 3}));
+  // Later lookups (with or without bounds) return the existing histogram.
+  EXPECT_EQ(&registry.histogram("touched"), &first);
+  EXPECT_EQ(&registry.histogram("touched", {9, 10}), &first);
+  EXPECT_EQ(first.bounds(), (std::vector<double>{1, 2, 3}));
+}
+
+TEST(MetricsRegistryTest, SnapshotCarriesAllKindsAndResetZeroes) {
+  MetricsRegistry registry;
+  registry.counter("c").Add(7);
+  registry.gauge("g").Set(2.5);
+  registry.histogram("h", {1, 10}).Record(5);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("c"), 7u);
+  EXPECT_EQ(snapshot.gauges.at("g"), 2.5);
+  EXPECT_EQ(snapshot.histograms.at("h").count, 1u);
+  registry.ResetForTesting();
+  snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("c"), 0u);
+  EXPECT_EQ(snapshot.gauges.at("g"), 0.0);
+  EXPECT_EQ(snapshot.histograms.at("h").count, 0u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentLookupsAndAddsAreSafe) {
+  MetricsRegistry registry;
+  const ExecutionContext ctx(HardwareThreads());
+  constexpr size_t kTasks = 4000;
+  // Mixed lookup + increment from every pool thread: the find-or-create
+  // path takes the registry mutex, the Add is the lock-free slot path.
+  ParallelFor(ctx.pool(), kTasks, [&](size_t i) {
+    registry.counter(i % 2 == 0 ? "even" : "odd").Add(1);
+    registry.histogram("lat").Record(static_cast<double>(i % 50));
+  });
+  EXPECT_EQ(registry.counter("even").Value(), kTasks / 2);
+  EXPECT_EQ(registry.counter("odd").Value(), kTasks / 2);
+  EXPECT_EQ(registry.histogram("lat").Count(), kTasks);
+}
+
+TEST(MetricsRegistryTest, SnapshotToJsonShape) {
+  MetricsRegistry registry;
+  registry.counter("pairs").Add(12);
+  registry.gauge("depth").Set(3);
+  registry.histogram("lat_us", {1, 10, 100}).Record(7);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counter_pairs\": 12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauge_depth\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hist_lat_us_count\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hist_lat_us_p99\""), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '{');
+}
+
+TEST(MetricsRegistryTest, WriteMetricsJsonRoundTrips) {
+  const fs::path path = fs::temp_directory_path() / "cem_obs_metrics.json";
+  // The global registry always has the pipeline instrumentation sites
+  // registered by the time any test ran a build; writing must succeed and
+  // produce one JSON object.
+  MetricsRegistry::Global().counter("obs_test_marker").Add(1);
+  ASSERT_TRUE(obs::WriteMetricsJson(path.string()).ok());
+  const std::string json = ReadFileOrDie(path.string());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"counter_obs_test_marker\": 1"), std::string::npos);
+  fs::remove(path);
+}
+
+// ------------------------------------------------------------------ Trace --
+
+TEST(TraceTest, ParseEnabledValueSemantics) {
+  EXPECT_FALSE(TraceRecorder::ParseEnabledValue(nullptr));
+  EXPECT_FALSE(TraceRecorder::ParseEnabledValue(""));
+  EXPECT_FALSE(TraceRecorder::ParseEnabledValue("0"));
+  EXPECT_TRUE(TraceRecorder::ParseEnabledValue("1"));
+  EXPECT_TRUE(TraceRecorder::ParseEnabledValue("chrome"));
+}
+
+TEST(TraceTest, SpansRecordOnlyWhileEnabled) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.SetEnabled(false);
+  { CEM_TRACE("obs_test/disabled"); }
+  EXPECT_TRUE(recorder.Events().empty());
+  recorder.SetEnabled(true);
+  { CEM_TRACE("obs_test/enabled"); }
+  recorder.SetEnabled(false);
+  const std::vector<obs::TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "obs_test/enabled");
+  recorder.Clear();
+}
+
+TEST(TraceTest, TimedSpanFeedsHistogramEvenWhenDisabled) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.SetEnabled(false);
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("span_us");
+  { CEM_TRACE_TIMED("obs_test/timed", &hist); }
+  EXPECT_EQ(hist.Count(), 1u);
+}
+
+TEST(TraceTest, ConcurrentSpansAllRecorded) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  const ExecutionContext ctx(HardwareThreads());
+  constexpr size_t kTasks = 2000;
+  ParallelFor(ctx.pool(), kTasks,
+              [&](size_t) { CEM_TRACE("obs_test/parallel"); });
+  recorder.SetEnabled(false);
+  EXPECT_EQ(recorder.Events().size(), kTasks);
+  recorder.Clear();
+}
+
+TEST(TraceTest, WriteJsonIsWellFormedTraceEventArray) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  { CEM_TRACE("obs_test/export"); }
+  recorder.SetEnabled(false);
+  const fs::path path = fs::temp_directory_path() / "cem_obs_trace.json";
+  ASSERT_TRUE(recorder.WriteJson(path.string()).ok());
+  const std::string json = ReadFileOrDie(path.string());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.find_last_not_of(" \n")], ']');
+  EXPECT_NE(json.find("\"name\": \"obs_test/export\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  fs::remove(path);
+  recorder.Clear();
+}
+
+TEST(TraceTest, EmptyTraceExportsEmptyArray) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  const fs::path path = fs::temp_directory_path() / "cem_obs_trace_empty.json";
+  ASSERT_TRUE(recorder.WriteJson(path.string()).ok());
+  const std::string json = ReadFileOrDie(path.string());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.find_last_not_of(" \n")], ']');
+  fs::remove(path);
+}
+
+// ----------------------------------------------------- Determinism contract --
+
+/// Registry counter deltas of one full pipeline run (LSH cover build +
+/// one-at-a-time streamed replay) under the given execution context. The
+/// CI gate exports these as counter_*; they must not depend on threads or
+/// shards.
+std::map<std::string, uint64_t> PipelineCounterDeltas(uint32_t threads,
+                                                      uint32_t shards) {
+  const std::map<std::string, uint64_t> before =
+      MetricsRegistry::Global().Snapshot().counters;
+
+  data::BibConfig config = data::BibConfig::DblpLike(0.05);
+  config.seed = 77;
+  const ExecutionContext ctx(threads, shards);
+  const std::unique_ptr<data::Dataset> dataset =
+      data::GenerateBibDataset(config, {}, ctx);
+  const mln::MlnMatcher matcher(*dataset);
+  const core::Cover cover =
+      blocking::MakeCoverBuilder(core::BlockingStrategy::kLsh)
+          ->Build(*dataset, ctx);
+  EXPECT_GT(cover.size(), 0u);
+
+  stream::StreamingOptions options;
+  options.context = &ctx;
+  stream::StreamingMatcher streaming(matcher, options);
+  std::vector<data::EntityId> refs = dataset->author_refs();
+  Rng(5).Shuffle(refs);
+  streaming.AddBatch(refs);
+
+  std::map<std::string, uint64_t> deltas;
+  for (const auto& [name, value] :
+       MetricsRegistry::Global().Snapshot().counters) {
+    const auto it = before.find(name);
+    deltas[name] = value - (it == before.end() ? 0 : it->second);
+  }
+  return deltas;
+}
+
+TEST(MetricsDeterminismTest, PipelineCountersIdenticalAcrossContexts) {
+  // threads x shards sweep, mirroring the repo-wide determinism pins: the
+  // counter deltas of the whole instrumented pipeline must be
+  // bit-identical, or the CI counter gate would flake across hosts.
+  const std::map<std::string, uint64_t> reference =
+      PipelineCounterDeltas(1, 1);
+  EXPECT_GT(reference.at("blocking_minhash_signatures"), 0u);
+  EXPECT_GT(reference.at("blocking_lsh_pairs_considered"), 0u);
+  EXPECT_GT(reference.at("stream_inserts"), 0u);
+  EXPECT_GT(reference.at("stream_drain_evaluations"), 0u);
+  const struct {
+    uint32_t threads;
+    uint32_t shards;
+  } contexts[] = {{1, 4}, {4, 4}, {4, 32}, {HardwareThreads(), 32}};
+  for (const auto& [threads, shards] : contexts) {
+    const std::map<std::string, uint64_t> run =
+        PipelineCounterDeltas(threads, shards);
+    EXPECT_EQ(run, reference)
+        << "counter deltas diverged at threads=" << threads
+        << " shards=" << shards;
+  }
+}
+
+}  // namespace
+}  // namespace cem

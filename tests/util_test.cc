@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include "util/execution_context.h"
+#include "util/logging.h"
 #include "util/random.h"
+#include "util/timer.h"
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/table_writer.h"
@@ -436,6 +438,83 @@ TEST(TableWriterTest, JsonQuotesNonFiniteNumbers) {
   t.PrintJson(os);
   EXPECT_EQ(os.str(),
             "{\"headers\": [\"v\"], \"rows\": [[\"nan\"], [\"inf\"]]}");
+}
+
+// ---------------------------------------------------------------- Logging --
+
+TEST(LoggingTest, ParseLogSeverityAcceptsNamesAnyCase) {
+  EXPECT_EQ(ParseLogSeverity("info"), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogSeverity("INFO"), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogSeverity("Warning"), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("warn"), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("error"), LogSeverity::kError);
+  EXPECT_EQ(ParseLogSeverity("FATAL"), LogSeverity::kFatal);
+}
+
+TEST(LoggingTest, ParseLogSeverityAcceptsNumericLevels) {
+  EXPECT_EQ(ParseLogSeverity("0"), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogSeverity("1"), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("2"), LogSeverity::kError);
+  EXPECT_EQ(ParseLogSeverity("3"), LogSeverity::kFatal);
+}
+
+TEST(LoggingTest, ParseLogSeverityRejectsGarbage) {
+  EXPECT_EQ(ParseLogSeverity(""), std::nullopt);
+  EXPECT_EQ(ParseLogSeverity("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogSeverity("4"), std::nullopt);
+  EXPECT_EQ(ParseLogSeverity("-1"), std::nullopt);
+  EXPECT_EQ(ParseLogSeverity("info "), std::nullopt);
+}
+
+TEST(LoggingTest, ResolveEnvValueUsesParsedSeverity) {
+  bool fell_back = true;
+  EXPECT_EQ(ResolveLogSeverityEnvValue("error", &fell_back),
+            LogSeverity::kError);
+  EXPECT_FALSE(fell_back);
+}
+
+TEST(LoggingTest, ResolveEnvValueUnsetMeansInfoWithoutFallbackWarning) {
+  bool fell_back = true;
+  EXPECT_EQ(ResolveLogSeverityEnvValue(nullptr, &fell_back),
+            LogSeverity::kInfo);
+  EXPECT_FALSE(fell_back);  // Unset is the default, not a bad value.
+}
+
+TEST(LoggingTest, ResolveEnvValueBadValueFallsBackToInfo) {
+  bool fell_back = false;
+  EXPECT_EQ(ResolveLogSeverityEnvValue("loud", &fell_back),
+            LogSeverity::kInfo);
+  EXPECT_TRUE(fell_back);
+}
+
+TEST(LoggingTest, LogThreadIdStableWithinThread) {
+  const uint32_t id = LogThreadId();
+  EXPECT_EQ(LogThreadId(), id);
+}
+
+// ------------------------------------------------------------ ScopedTimer --
+
+TEST(ScopedTimerTest, FiresCallbackWithElapsedOnScopeExit) {
+  double recorded = -1.0;
+  {
+    ScopedTimer timer(
+        [](void* ctx, double elapsed_ms) {
+          *static_cast<double*>(ctx) = elapsed_ms;
+        },
+        &recorded);
+    EXPECT_GE(timer.ElapsedMillis(), 0.0);
+  }
+  EXPECT_GE(recorded, 0.0);
+}
+
+TEST(ScopedTimerTest, CancelSuppressesCallback) {
+  bool fired = false;
+  {
+    ScopedTimer timer(
+        [](void* ctx, double) { *static_cast<bool*>(ctx) = true; }, &fired);
+    timer.Cancel();
+  }
+  EXPECT_FALSE(fired);
 }
 
 }  // namespace
