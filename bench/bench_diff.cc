@@ -12,10 +12,12 @@
 // genuinely does more work, not that the machine was busy.
 //
 // Wall times ("wall_ms_<table>" keys, recorded by bench::JsonReport) are
-// additionally diffed when both reports carry them, but strictly
-// informationally: they never affect the exit code. This is the first step
-// toward a wall-time gate on a dedicated runner (see ROADMAP) — the deltas
-// become visible in every CI log without making the gate host-sensitive.
+// additionally diffed when both reports carry them, but by default strictly
+// informationally: they never affect the exit code, so the gate stays
+// host-insensitive. Passing `--gate-wall <fraction>` turns them into gated
+// metrics with their own budget (a baseline wall key missing from the
+// current report fails, exactly like a counter) — the mode a dedicated,
+// quiet runner opts into via CEM_CI_GATE_WALL=1 in ci/check.sh.
 //
 // Histogram exports ("hist_<name>_{count,sum,p50,p95,p99}", from the
 // metrics registry) and gauges ("gauge_<name>") are likewise diffed
@@ -242,10 +244,13 @@ int CheckTrace(const char* path) {
 
 int main(int argc, char** argv) {
   double max_slowdown = 0.15;
+  double gate_wall = -1.0;  // Negative: wall times stay informational.
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--max-slowdown") && i + 1 < argc) {
       max_slowdown = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--gate-wall") && i + 1 < argc) {
+      gate_wall = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--check-metrics") && i + 1 < argc) {
       return CheckMetrics(argv[++i]);
     } else if (!std::strcmp(argv[i], "--check-trace") && i + 1 < argc) {
@@ -257,7 +262,7 @@ int main(int argc, char** argv) {
   if (files.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_diff <baseline.json> <current.json> "
-                 "[--max-slowdown 0.15]\n"
+                 "[--max-slowdown 0.15] [--gate-wall <fraction>]\n"
                  "       bench_diff --check-metrics <metrics.json>\n"
                  "       bench_diff --check-trace <trace.json>\n");
     return 2;
@@ -331,13 +336,60 @@ int main(int argc, char** argv) {
       }
     }
   };
-  diff_informational("wall", "wall_ms_", " ms");
+  if (gate_wall < 0.0) diff_informational("wall", "wall_ms_", " ms");
   diff_informational("hist", "hist_", "");
   diff_informational("gauge", "gauge_", "");
+
+  // Opt-in wall-time gate: baseline wall_ms_ keys become budgeted metrics
+  // (missing-from-current fails, like a counter rename). Only a quiet,
+  // dedicated runner should pass --gate-wall — see the header comment.
+  int wall_regressions = 0;
+  if (gate_wall >= 0.0) {
+    const std::vector<Counter> base_wall =
+        parse(baseline_json, files[0], "wall_ms_");
+    const std::vector<Counter> now_wall =
+        parse(current_json, files[1], "wall_ms_");
+    for (const Counter& base : base_wall) {
+      const Counter* now = Find(now_wall, base.key);
+      if (now == nullptr) {
+        std::fprintf(stderr, "FAIL %s: missing from current report\n",
+                     base.key.c_str());
+        ++wall_regressions;
+        continue;
+      }
+      const double budget = base.value * (1.0 + gate_wall) + 1e-9;
+      const bool failed = now->value > budget;
+      char delta[32];
+      if (base.value == 0.0) {
+        std::snprintf(delta, sizeof(delta), "was 0");
+      } else {
+        std::snprintf(delta, sizeof(delta), "%+.1f%%",
+                      (now->value - base.value) / base.value * 100.0);
+      }
+      std::printf("%s %s: %.6g -> %.6g ms (%s, gated)\n",
+                  failed ? "FAIL" : "ok  ", base.key.c_str(), base.value,
+                  now->value, delta);
+      if (failed) ++wall_regressions;
+    }
+    for (const Counter& now : now_wall) {
+      if (Find(base_wall, now.key) == nullptr) {
+        std::printf("new  %s: %.6g ms (no baseline; bless with "
+                    "CEM_BLESS_WALL=1 ci/update_baselines.sh)\n",
+                    now.key.c_str(), now.value);
+      }
+    }
+  }
   if (baseline.empty()) {
+    // Wall-only baselines (bench/baselines-wall) land here: no counters to
+    // gate, but a wall regression found above must still fail the run.
     std::printf("bench_diff: no tracked counters in %s; nothing to gate\n",
                 files[0]);
-    return 0;
+    if (wall_regressions > 0) {
+      std::fprintf(stderr,
+                   "bench_diff: %d wall time(s) regressed more than %.0f%%\n",
+                   wall_regressions, gate_wall * 100.0);
+    }
+    return wall_regressions > 0 ? 1 : 0;
   }
 
   int regressions = 0;
@@ -379,7 +431,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "bench_diff: %d counter(s) regressed more than %.0f%%\n",
                  regressions, max_slowdown * 100.0);
-    return 1;
   }
-  return 0;
+  if (wall_regressions > 0) {
+    std::fprintf(stderr,
+                 "bench_diff: %d wall time(s) regressed more than %.0f%%\n",
+                 wall_regressions, gate_wall * 100.0);
+  }
+  return regressions + wall_regressions > 0 ? 1 : 0;
 }

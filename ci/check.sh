@@ -1,18 +1,28 @@
 #!/usr/bin/env bash
-# CI gate: configure + build (warnings as errors) + tier-1 tests +
-# header self-containment + format check + bench smoke runs + a bench
-# regression gate (tracked counters diffed against the blessed baselines
-# committed under bench/baselines/), an AddressSanitizer build re-running
+# CI gate: configure + build (warnings as errors) + tier-1 tests (once at
+# the default SIMD dispatch and once forced CEM_SIMD=scalar) + header
+# self-containment + format check + bench smoke runs + a bench regression
+# gate (tracked counters diffed against the blessed baselines committed
+# under bench/baselines/) + a wall-time stage (informational by default,
+# gating under CEM_CI_GATE_WALL=1), an AddressSanitizer build re-running
 # the tier-1 suite, and a ThreadSanitizer build re-running the
 # concurrency-labeled suites. Run from anywhere; a fresh checkout passes
 # end-to-end using only the committed baselines.
 #
 # Knobs:
-#   CEM_CI_SKIP_ASAN=1   skip the AddressSanitizer stage
-#   CEM_CI_SKIP_TSAN=1   skip the ThreadSanitizer stage
-#   BENCH_BASELINE_DIR   override where the blessed baseline reports live
-#                        (default: bench/baselines; bless new ones with
-#                        ci/update_baselines.sh)
+#   CEM_CI_SKIP_ASAN=1    skip the AddressSanitizer stage
+#   CEM_CI_SKIP_TSAN=1    skip the ThreadSanitizer stage
+#   BENCH_BASELINE_DIR    override where the blessed baseline reports live
+#                         (default: bench/baselines; bless new ones with
+#                         ci/update_baselines.sh)
+#   CEM_CI_GATE_WALL=1    make the wall-time stage gating (>25% slowdown on
+#                         any blessed wall_ms_* fails). Off the dedicated
+#                         quiet runner the stage is informational — shared
+#                         hosts are too noisy to gate wall clocks.
+#   CEM_WALL_BASELINE_DIR where the blessed wall-time baselines live
+#                         (default: bench/baselines-wall; host-specific —
+#                         bless with CEM_BLESS_WALL=1 ci/update_baselines.sh
+#                         on the runner that will gate)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -44,12 +54,19 @@ cmake --build "${BUILD_DIR}" --target format_check
 echo "== ctest -L tier1"
 ctest --test-dir "${BUILD_DIR}" -L tier1 -j "${JOBS}" --output-on-failure
 
+echo "== ctest -L tier1 (CEM_SIMD=scalar)"
+# The full suite again with the SIMD dispatch forced off: proves the
+# scalar fallback path is a complete, correct implementation on its own
+# (what a non-AVX2 host would run), not just the AVX2 kernels' shadow.
+CEM_SIMD=scalar ctest --test-dir "${BUILD_DIR}" -L tier1 -j "${JOBS}" \
+  --output-on-failure
+
 echo "== ctest -L bench_smoke"
-# ablation_blocking, bench_streaming and bench_persist are excluded here:
-# the regression gate below runs the same binaries at the same scale (with
-# JSON on), so one run covers both.
+# ablation_blocking, bench_streaming, bench_persist and bench_hotpath are
+# excluded here: the regression gate below runs the same binaries at the
+# same scale (with JSON on), so one run covers both.
 ctest --test-dir "${BUILD_DIR}" -L bench_smoke \
-  -E "bench_smoke_ablation_blocking|bench_smoke_streaming|bench_smoke_persist" \
+  -E "bench_smoke_ablation_blocking|bench_smoke_streaming|bench_smoke_persist|bench_smoke_hotpath" \
   -j "${JOBS}" --output-on-failure
 
 echo "== bench regression gate (tracked counters, >15% slowdown fails)"
@@ -68,6 +85,8 @@ CEM_BENCH_SCALE=0.05 CEM_BENCH_JSON_DIR="${BENCH_JSON_DIR}" \
   "${BUILD_DIR}/bench_streaming" > /dev/null
 CEM_BENCH_SCALE=0.05 CEM_BENCH_JSON_DIR="${BENCH_JSON_DIR}" \
   "${BUILD_DIR}/bench_persist" > /dev/null
+CEM_BENCH_SCALE=0.05 CEM_BENCH_JSON_DIR="${BENCH_JSON_DIR}" \
+  "${BUILD_DIR}/bench_hotpath" > /dev/null
 shopt -s nullglob
 compared=0
 for report in "${BENCH_JSON_DIR}"/BENCH_*.json; do
@@ -94,6 +113,43 @@ if [[ "${compared}" -eq 0 ]]; then
   echo "error: bench regression gate compared nothing (no reports matched" \
     "a baseline) — the gate must never pass vacuously" >&2
   exit 1
+fi
+
+echo "== wall-time stage (bench_hotpath et al.)"
+# Diffs the wall_ms_* sections of the reports produced above against the
+# blessed wall baselines. Wall clocks are host-specific, so the baselines
+# are blessed per-runner (CEM_BLESS_WALL=1 ci/update_baselines.sh) and the
+# stage only *gates* when CEM_CI_GATE_WALL=1 — everywhere else it prints
+# the deltas and moves on. With the gate on, >25% slowdown on any blessed
+# wall_ms_* key fails, and comparing nothing is an error (a gate must
+# never pass vacuously).
+CEM_WALL_BASELINE_DIR="${CEM_WALL_BASELINE_DIR:-${REPO_ROOT}/bench/baselines-wall}"
+wall_compared=0
+shopt -s nullglob
+for base in "${CEM_WALL_BASELINE_DIR}"/BENCH_*.json; do
+  report="${BENCH_JSON_DIR}/$(basename "${base}")"
+  if [[ ! -f "${report}" ]]; then
+    echo "-- $(basename "${base}"): baseline has no current report; skipped"
+    continue
+  fi
+  echo "-- $(basename "${base}")"
+  if [[ "${CEM_CI_GATE_WALL:-0}" == "1" ]]; then
+    "${BUILD_DIR}/bench_diff" "${base}" "${report}" --gate-wall 0.25
+  else
+    "${BUILD_DIR}/bench_diff" "${base}" "${report}"
+  fi
+  wall_compared=$((wall_compared + 1))
+done
+shopt -u nullglob
+if [[ "${wall_compared}" -eq 0 ]]; then
+  if [[ "${CEM_CI_GATE_WALL:-0}" == "1" ]]; then
+    echo "error: CEM_CI_GATE_WALL=1 but no wall baselines matched a report" \
+      "under ${CEM_WALL_BASELINE_DIR}; bless them on this runner with" \
+      "CEM_BLESS_WALL=1 ci/update_baselines.sh" >&2
+    exit 1
+  fi
+  echo "-- no wall baselines under ${CEM_WALL_BASELINE_DIR}; informational" \
+    "run only (bless with CEM_BLESS_WALL=1 ci/update_baselines.sh)"
 fi
 
 echo "== observability exports (dedup_tool --metrics-json/--trace-json)"

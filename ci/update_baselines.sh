@@ -9,8 +9,13 @@
 # measures); wall times and tables are stripped so the committed files stay
 # byte-stable across hosts.
 #
+# With CEM_BLESS_WALL=1 it additionally writes wall-time baselines (the
+# "wall_ms_*" keys) under bench/baselines-wall/. Those are host-specific by
+# nature — bless them on the quiet runner that will gate with
+# CEM_CI_GATE_WALL=1, and do not expect them to transfer between machines.
+#
 # Knobs: BUILD_DIR (default build-ci), CEM_BENCH_SCALE (default 0.05 — must
-# match the scale ci/check.sh runs the gate at).
+# match the scale ci/check.sh runs the gate at), CEM_BLESS_WALL=1.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -22,7 +27,8 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 echo "== configure + build bench binaries (${BUILD_DIR})"
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCEM_WERROR=ON > /dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-  --target bench_ablation_blocking bench_bench_streaming bench_bench_persist
+  --target bench_ablation_blocking bench_bench_streaming bench_bench_persist \
+  bench_bench_hotpath
 
 echo "== run benches at CEM_BENCH_SCALE=${SCALE}"
 TMP_DIR="$(mktemp -d)"
@@ -33,6 +39,8 @@ CEM_BENCH_SCALE="${SCALE}" CEM_BENCH_JSON_DIR="${TMP_DIR}" \
   "${BUILD_DIR}/bench_streaming" > /dev/null
 CEM_BENCH_SCALE="${SCALE}" CEM_BENCH_JSON_DIR="${TMP_DIR}" \
   "${BUILD_DIR}/bench_persist" > /dev/null
+CEM_BENCH_SCALE="${SCALE}" CEM_BENCH_JSON_DIR="${TMP_DIR}" \
+  "${BUILD_DIR}/bench_hotpath" > /dev/null
 
 mkdir -p "${BASELINE_DIR}"
 for report in "${TMP_DIR}"/BENCH_*.json; do
@@ -51,6 +59,29 @@ for report in "${TMP_DIR}"/BENCH_*.json; do
     "${slug}" "${SCALE}" "${counters}" > "${BASELINE_DIR}/${name}"
   echo "-- blessed ${BASELINE_DIR#"${REPO_ROOT}"/}/${name}"
 done
+
+# Optional wall-time bless: keep only the wall_ms_* keys. These files are
+# a property of the machine that produced them — bless on the runner that
+# gates (CEM_CI_GATE_WALL=1), not on a laptop.
+if [[ "${CEM_BLESS_WALL:-0}" == "1" ]]; then
+  WALL_DIR="${REPO_ROOT}/bench/baselines-wall"
+  mkdir -p "${WALL_DIR}"
+  for report in "${TMP_DIR}"/BENCH_*.json; do
+    name="$(basename "${report}")"
+    slug="${name#BENCH_}"
+    slug="${slug%.json}"
+    walls="$(grep -o '"wall_ms_[^"]*": *[-+0-9.eE]*' "${report}" \
+      | sed 's/$/,/' | tr -d '\n' | sed 's/,$//; s/,/, /g')"
+    if [[ -z "${walls}" ]]; then
+      echo "-- ${name}: no wall_ms_ sections; wall bless skipped"
+      continue
+    fi
+    printf '{"bench": "%s", "scale": %s, %s}\n' \
+      "${slug}" "${SCALE}" "${walls}" > "${WALL_DIR}/${name}"
+    echo "-- blessed ${WALL_DIR#"${REPO_ROOT}"/}/${name}"
+  done
+  git -C "${REPO_ROOT}" add "${WALL_DIR}"
+fi
 
 git -C "${REPO_ROOT}" add "${BASELINE_DIR}"
 echo "== staged; review with 'git diff --cached bench/baselines' and commit"

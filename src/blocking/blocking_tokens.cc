@@ -2,21 +2,91 @@
 
 #include <algorithm>
 #include <cctype>
+#include <string_view>
 
+#include "util/hash.h"
 #include "util/string_util.h"
 
 namespace cem::blocking {
 
+namespace {
+
+char AsciiLower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+/// Builds the fused first-initial|last-name-head token ("j|do" for
+/// "J. Doe") into `buf` (at least 4 bytes); returns its length, or 0 when
+/// the reference has no first name. `name` must already be lower-cased.
+size_t FusedInitialToken(const data::Entity& entity, std::string_view name,
+                         char* buf) {
+  if (entity.first_name.empty()) return 0;
+  size_t len = 0;
+  buf[len++] = AsciiLower(entity.first_name[0]);
+  buf[len++] = '|';
+  const size_t head = std::min<size_t>(2, name.size());
+  for (size_t i = 0; i < head; ++i) buf[len++] = name[i];
+  return len;
+}
+
+}  // namespace
+
 std::vector<std::string> AuthorBlockingTokens(const data::Entity& entity) {
   std::string name = ToLower(entity.last_name);
   std::vector<std::string> grams = CharNgrams(name, 3);
-  if (!entity.first_name.empty()) {
-    const char initial = static_cast<char>(
-        std::tolower(static_cast<unsigned char>(entity.first_name[0])));
-    grams.push_back(std::string(1, initial) + "|" +
-                    name.substr(0, std::min<size_t>(2, name.size())));
-  }
+  char fused[4];
+  const size_t fused_len = FusedInitialToken(entity, name, fused);
+  if (fused_len > 0) grams.emplace_back(fused, fused_len);
   return grams;
+}
+
+void AppendAuthorBlockingTokens(const data::Entity& entity,
+                                text::TokenCorpus::DocBuilder& builder) {
+  // Intern the lower-cased last name once; every trigram (CharNgrams
+  // semantics: none when empty, the whole string when <= 3 chars) aliases
+  // a slice of that single copy.
+  const std::string_view name = builder.InternLower(entity.last_name);
+  if (!name.empty()) {
+    if (name.size() <= 3) {
+      builder.EmitAlias(name.data(), name.size());
+    } else {
+      for (size_t i = 0; i + 3 <= name.size(); ++i) {
+        builder.EmitAlias(name.data() + i, 3);
+      }
+    }
+  }
+  char fused[4];
+  const size_t fused_len = FusedInitialToken(entity, name, fused);
+  if (fused_len > 0) builder.Emit({fused, fused_len});
+}
+
+void AppendAuthorBlockingTokenHashes(const data::Entity& entity,
+                                     std::vector<uint64_t>* out) {
+  // Incremental FNV over lower-cased bytes — no token strings, no arena.
+  const std::string_view last = entity.last_name;
+  if (!last.empty()) {
+    if (last.size() <= 3) {
+      uint64_t h = kFnv1a64Seed;
+      for (char c : last) h = Fnv1a64Byte(h, AsciiLower(c));
+      out->push_back(h);
+    } else {
+      for (size_t i = 0; i + 3 <= last.size(); ++i) {
+        uint64_t h = kFnv1a64Seed;
+        h = Fnv1a64Byte(h, AsciiLower(last[i]));
+        h = Fnv1a64Byte(h, AsciiLower(last[i + 1]));
+        h = Fnv1a64Byte(h, AsciiLower(last[i + 2]));
+        out->push_back(h);
+      }
+    }
+  }
+  if (!entity.first_name.empty()) {
+    uint64_t h = kFnv1a64Seed;
+    h = Fnv1a64Byte(h, AsciiLower(entity.first_name[0]));
+    h = Fnv1a64Byte(h, '|');
+    const size_t head = std::min<size_t>(2, last.size());
+    for (size_t i = 0; i < head; ++i) h = Fnv1a64Byte(h, AsciiLower(last[i]));
+    out->push_back(h);
+  }
 }
 
 }  // namespace cem::blocking

@@ -1,10 +1,12 @@
 #ifndef CEM_BLOCKING_BLOCKING_TOKENS_H_
 #define CEM_BLOCKING_BLOCKING_TOKENS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "data/entity.h"
+#include "text/token_arena.h"
 
 namespace cem::blocking {
 
@@ -15,6 +17,21 @@ namespace cem::blocking {
 /// prefilter (Dataset::BuildCandidatePairs), the canopy cheap distance and
 /// the MinHash signatures — so their notions of "nearby" agree.
 std::vector<std::string> AuthorBlockingTokens(const data::Entity& entity);
+
+/// Arena hot path: emits exactly the AuthorBlockingTokens token set into
+/// `builder`. The lower-cased last name is interned once and the trigrams
+/// alias slices of it, so a k-character name costs k arena bytes instead
+/// of 3(k-2) heap-string bytes plus allocator overhead.
+void AppendAuthorBlockingTokens(const data::Entity& entity,
+                                text::TokenCorpus::DocBuilder& builder);
+
+/// Hash-only hot path: appends Fnv1a64(token) for each AuthorBlockingTokens
+/// token to `out` without materialising any token bytes — the streaming
+/// signature path feeds these straight into
+/// MinHasher::SignatureFromHashes. Same multiset of hashes as hashing the
+/// AuthorBlockingTokens strings (duplicates are harmless to MinHash).
+void AppendAuthorBlockingTokenHashes(const data::Entity& entity,
+                                     std::vector<uint64_t>* out);
 
 }  // namespace cem::blocking
 

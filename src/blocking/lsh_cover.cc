@@ -3,9 +3,11 @@
 #include <vector>
 
 #include "blocking/blocking_tokens.h"
+#include "blocking/minhash_simd.h"
 #include "core/cover_assembly.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "text/token_arena.h"
 #include "util/logging.h"
 
 namespace cem::blocking {
@@ -22,18 +24,23 @@ core::Cover BuildLshCover(const data::Dataset& dataset,
   // Signatures + sharded banded index over author refs (dense doc ids =
   // position), all phases parallel on ctx. Each stage runs under a trace
   // span so `dedup_tool --trace-json` shows the build as a flame chart.
-  std::vector<std::vector<std::string>> token_sets(refs.size());
+  // Tokens go straight into a flat arena corpus (hashed once at emit) and
+  // signatures into one row-major matrix — the batched SIMD hot path.
+  text::TokenCorpus corpus;
   {
     CEM_TRACE("blocking/tokenize");
-    ParallelFor(ctx.pool(), refs.size(), [&](size_t i) {
-      token_sets[i] = AuthorBlockingTokens(dataset.entity(refs[i]));
-    });
+    corpus = text::TokenCorpus::Build(
+        refs.size(),
+        [&](size_t i, text::TokenCorpus::DocBuilder& builder) {
+          AppendAuthorBlockingTokens(dataset.entity(refs[i]), builder);
+        },
+        ctx);
   }
   const MinHasher hasher(options.minhash);
-  std::vector<std::vector<uint64_t>> signatures;
+  SignatureMatrix signatures;
   {
     CEM_TRACE("blocking/minhash");
-    signatures = hasher.SignatureBatch(token_sets, ctx);
+    signatures = ComputeSignatures(hasher, corpus, ctx);
   }
   LshIndex index(options.lsh, hasher.num_hashes(), ctx.num_shards());
   {
@@ -53,8 +60,8 @@ core::Cover BuildLshCover(const data::Dataset& dataset,
     *num_scored = candidates.size();
     std::vector<core::AssemblyCandidate> out;
     for (uint32_t other : candidates) {
-      const double estimate =
-          MinHasher::EstimateJaccard(signatures[doc], signatures[other]);
+      const double estimate = MinHasher::EstimateJaccard(
+          signatures.row(doc), signatures.row(other), hasher.num_hashes());
       if (estimate >= options.loose) out.push_back({other, estimate});
     }
     return out;

@@ -3,20 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace cem::blocking {
-namespace {
-
-/// SplitMix64 finalizer (same mixer the MinHasher uses).
-uint64_t Mix(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 LshIndex::LshIndex(const LshParams& params, uint32_t num_hashes,
                    uint32_t num_shards)
@@ -26,57 +16,111 @@ LshIndex::LshIndex(const LshParams& params, uint32_t num_hashes,
   CEM_CHECK(params.bands > 0 && params.rows > 0);
   CEM_CHECK(params.bands * params.rows <= num_hashes)
       << "bands*rows must fit in the signature length";
+  band_seeds_.reserve(params_.bands);
+  for (uint32_t band = 0; band < params_.bands; ++band) {
+    band_seeds_.push_back(Mix64(band + 1));
+  }
+}
+
+void LshIndex::BandKeysInto(const uint64_t* signature, uint64_t* out) const {
+  // Pointer walk over the band slices: the signature components of band b
+  // are the `rows` entries after b*rows, consumed in order — no per-row
+  // index arithmetic, and the per-band seed comes from the hoisted table.
+  // The resulting key values are pinned by the snapshot format (saved
+  // bucket maps key on them); see BandKeys() in the header.
+  const uint64_t* component = signature;
+  for (uint32_t band = 0; band < params_.bands; ++band) {
+    uint64_t key = band_seeds_[band];
+    for (uint32_t row = 0; row < params_.rows; ++row) {
+      key = Mix64(key ^ *component++);
+    }
+    out[band] = key;
+  }
 }
 
 std::vector<uint64_t> LshIndex::BandKeys(
     const std::vector<uint64_t>& signature) const {
-  std::vector<uint64_t> keys;
-  keys.reserve(params_.bands);
-  for (uint32_t band = 0; band < params_.bands; ++band) {
-    uint64_t key = Mix(band + 1);
-    for (uint32_t row = 0; row < params_.rows; ++row) {
-      key = Mix(key ^ signature[band * params_.rows + row]);
-    }
-    keys.push_back(key);
-  }
+  CEM_CHECK(signature.size() >= params_.bands * params_.rows);
+  std::vector<uint64_t> keys(params_.bands);
+  BandKeysInto(signature.data(), keys.data());
   return keys;
+}
+
+void LshIndex::ReserveDoc(uint32_t doc_id) {
+  if (doc_id >= doc_added_.size()) {
+    doc_added_.resize(doc_id + 1, 0);
+    doc_band_keys_.resize(static_cast<size_t>(doc_id + 1) * params_.bands, 0);
+  }
+  CEM_CHECK(doc_added_[doc_id] == 0) << "document added twice";
+  doc_added_[doc_id] = 1;
 }
 
 void LshIndex::AddDocument(uint32_t doc_id,
                            const std::vector<uint64_t>& signature) {
   CEM_CHECK(signature.size() == num_hashes_)
       << "signature length mismatch with the index configuration";
-  if (doc_id >= doc_band_keys_.size()) doc_band_keys_.resize(doc_id + 1);
-  CEM_CHECK(doc_band_keys_[doc_id].empty()) << "document added twice";
-  doc_band_keys_[doc_id] = BandKeys(signature);
-  for (uint64_t key : doc_band_keys_[doc_id]) {
+  ReserveDoc(doc_id);
+  uint64_t* keys = doc_band_keys_.data() + doc_id * params_.bands;
+  BandKeysInto(signature.data(), keys);
+  for (uint32_t band = 0; band < params_.bands; ++band) {
+    const uint64_t key = keys[band];
     shards_[ShardOf(key)].buckets[key].push_back(doc_id);
   }
 }
 
+namespace {
+
+/// One (bucket key, doc) insertion, grouped per owning shard.
+struct ShardEntry {
+  uint64_t key;
+  uint32_t doc;
+};
+
+}  // namespace
+
 void LshIndex::AddDocuments(
     const std::vector<std::vector<uint64_t>>& signatures,
     const ExecutionContext& ctx) {
-  CEM_CHECK(doc_band_keys_.empty()) << "AddDocuments on a non-empty index";
-  doc_band_keys_.resize(signatures.size());
-  ParallelFor(ctx.pool(), signatures.size(), [&](size_t doc) {
+  CEM_CHECK(doc_added_.empty()) << "AddDocuments on a non-empty index";
+  const size_t n = signatures.size();
+  doc_added_.assign(n, 1);
+  doc_band_keys_.resize(n * params_.bands);
+  ParallelFor(ctx.pool(), n, [&](size_t doc) {
     CEM_CHECK(signatures[doc].size() == num_hashes_)
         << "signature length mismatch with the index configuration";
-    doc_band_keys_[doc] = BandKeys(signatures[doc]);
+    BandKeysInto(signatures[doc].data(),
+                 doc_band_keys_.data() + doc * params_.bands);
   });
+  InsertBandKeys(ctx);
+}
+
+void LshIndex::AddDocuments(const SignatureMatrix& signatures,
+                            const ExecutionContext& ctx) {
+  CEM_CHECK(doc_added_.empty()) << "AddDocuments on a non-empty index";
+  CEM_CHECK(signatures.num_hashes() == num_hashes_ ||
+            signatures.num_docs() == 0)
+      << "signature length mismatch with the index configuration";
+  const size_t n = signatures.num_docs();
+  doc_added_.assign(n, 1);
+  doc_band_keys_.resize(n * params_.bands);
+  ParallelFor(ctx.pool(), n, [&](size_t doc) {
+    BandKeysInto(signatures.row(doc),
+                 doc_band_keys_.data() + doc * params_.bands);
+  });
+  InsertBandKeys(ctx);
+}
+
+void LshIndex::InsertBandKeys(const ExecutionContext& ctx) {
   // Partition the (key, doc) stream by owning shard — one cheap linear
   // append pass, in doc order, so each shard's list replays serial
   // AddDocument order exactly.
-  struct Entry {
-    uint64_t key;
-    uint32_t doc;
-  };
-  std::vector<std::vector<Entry>> per_shard(shards_.size());
+  const size_t n = doc_added_.size();
+  std::vector<std::vector<ShardEntry>> per_shard(shards_.size());
   for (auto& list : per_shard) {
-    list.reserve(doc_band_keys_.size() * params_.bands / shards_.size() + 1);
+    list.reserve(n * params_.bands / shards_.size() + 1);
   }
-  for (uint32_t doc = 0; doc < doc_band_keys_.size(); ++doc) {
-    for (uint64_t key : doc_band_keys_[doc]) {
+  for (uint32_t doc = 0; doc < n; ++doc) {
+    for (uint64_t key : doc_keys(doc)) {
       per_shard[ShardOf(key)].push_back({key, doc});
     }
   }
@@ -84,7 +128,7 @@ void LshIndex::AddDocuments(
   // hash-map building needs no synchronisation.
   ParallelFor(ctx.pool(), shards_.size(), [&](size_t s) {
     Shard& shard = shards_[s];
-    for (const Entry& entry : per_shard[s]) {
+    for (const ShardEntry& entry : per_shard[s]) {
       shard.buckets[entry.key].push_back(entry.doc);
     }
   });
@@ -94,14 +138,17 @@ void LshIndex::RestoreSnapshot(
     std::vector<BucketMap> buckets,
     const std::vector<std::vector<uint64_t>>& signatures,
     const ExecutionContext& ctx) {
-  CEM_CHECK(doc_band_keys_.empty()) << "RestoreSnapshot on a non-empty index";
+  CEM_CHECK(doc_added_.empty()) << "RestoreSnapshot on a non-empty index";
   CEM_CHECK(buckets.size() == shards_.size())
       << "restored bucket maps must match the shard count";
-  doc_band_keys_.resize(signatures.size());
-  ParallelFor(ctx.pool(), signatures.size(), [&](size_t doc) {
+  const size_t n = signatures.size();
+  doc_added_.assign(n, 1);
+  doc_band_keys_.resize(n * params_.bands);
+  ParallelFor(ctx.pool(), n, [&](size_t doc) {
     CEM_CHECK(signatures[doc].size() == num_hashes_)
         << "signature length mismatch with the index configuration";
-    doc_band_keys_[doc] = BandKeys(signatures[doc]);
+    BandKeysInto(signatures[doc].data(),
+                 doc_band_keys_.data() + doc * params_.bands);
   });
   for (size_t s = 0; s < shards_.size(); ++s) {
     shards_[s].buckets = std::move(buckets[s]);
@@ -109,9 +156,10 @@ void LshIndex::RestoreSnapshot(
 }
 
 std::vector<uint32_t> LshIndex::Candidates(uint32_t doc_id) const {
-  CEM_CHECK(doc_id < doc_band_keys_.size());
+  CEM_CHECK(doc_id < doc_added_.size());
   std::vector<uint32_t> out;
-  for (uint64_t key : doc_band_keys_[doc_id]) {
+  if (doc_added_[doc_id] == 0) return out;  // Id gap: never added.
+  for (uint64_t key : doc_keys(doc_id)) {
     const Shard& shard = shards_[ShardOf(key)];
     const auto it = shard.buckets.find(key);
     CEM_CHECK(it != shard.buckets.end());

@@ -3,9 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "blocking/minhash_simd.h"
 #include "util/execution_context.h"
 
 namespace cem::blocking {
@@ -50,12 +52,17 @@ class LshIndex {
   void AddDocuments(const std::vector<std::vector<uint64_t>>& signatures,
                     const ExecutionContext& ctx);
 
-  size_t num_documents() const { return doc_band_keys_.size(); }
+  /// Flat-layout overload over a batched SignatureMatrix — the hot path
+  /// the cover builders use. Identical results to the vector form.
+  void AddDocuments(const SignatureMatrix& signatures,
+                    const ExecutionContext& ctx);
+
+  size_t num_documents() const { return doc_added_.size(); }
   /// Alias of num_documents(): the corpus size as this index sees it, O(1).
   /// stream::IncrementalCover assigns arrival slots from this — callers
   /// should never have to infer the live count from bucket contents.
   size_t size() const { return num_documents(); }
-  bool empty() const { return doc_band_keys_.empty(); }
+  bool empty() const { return doc_added_.empty(); }
   size_t num_shards() const { return shards_.size(); }
 
   /// Number of distinct non-empty buckets across all bands.
@@ -81,7 +88,9 @@ class LshIndex {
 
   /// The `bands` bucket keys of one signature. Pure; public so the
   /// snapshot loader re-derives per-document keys from the persisted
-  /// signatures instead of storing them twice.
+  /// signatures instead of storing them twice. The key VALUES are part of
+  /// the on-disk snapshot format (saved bucket maps are keyed by them), so
+  /// this chain must never change — only get faster.
   std::vector<uint64_t> BandKeys(const std::vector<uint64_t>& signature) const;
 
   /// Bucket key -> member doc ids, in insertion (= doc id) order.
@@ -108,15 +117,39 @@ class LshIndex {
   /// low bits partition uniformly.
   size_t ShardOf(uint64_t key) const { return key % shards_.size(); }
 
+  /// Writes the `bands` bucket keys of `signature` (>= num_hashes_
+  /// components) into `out`: per band, a Mix64 chain over the band's rows,
+  /// seeded from the hoisted band_seeds_ table. Bit-identical to the
+  /// historical per-band `Mix(band+1)` re-derivation.
+  void BandKeysInto(const uint64_t* signature, uint64_t* out) const;
+
+  /// The flat band-key row of one document (bands entries).
+  std::span<const uint64_t> doc_keys(size_t doc) const {
+    return {doc_band_keys_.data() + doc * params_.bands, params_.bands};
+  }
+
+  /// Grows the per-document tables to hold `doc_id` and marks it added
+  /// (CHECK-fails on a duplicate add).
+  void ReserveDoc(uint32_t doc_id);
+
+  /// Bulk-insert backend shared by both AddDocuments overloads: partitions
+  /// the already-computed doc_band_keys_ stream by owning shard (in doc
+  /// order), then each worker builds the buckets of the shards it owns.
+  void InsertBandKeys(const ExecutionContext& ctx);
+
   struct Shard {
     BucketMap buckets;
   };
 
   LshParams params_;
   uint32_t num_hashes_;
+  /// Mix64(band+1) per band, hoisted out of the per-document key chain.
+  std::vector<uint64_t> band_seeds_;
   std::vector<Shard> shards_;
-  /// Per document: its `bands` bucket keys, for candidate lookup.
-  std::vector<std::vector<uint64_t>> doc_band_keys_;
+  /// Flat row-major per-document band keys: doc * bands + band. Docs never
+  /// added (id gaps) hold zeros and are flagged off in doc_added_.
+  std::vector<uint64_t> doc_band_keys_;
+  std::vector<uint8_t> doc_added_;
 };
 
 }  // namespace cem::blocking

@@ -1,30 +1,11 @@
 #include "blocking/minhash.h"
 
+#include "blocking/minhash_simd.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/random.h"
 
 namespace cem::blocking {
-namespace {
-
-/// FNV-1a over the token bytes: the base hash each permutation salts.
-uint64_t Fnv1a64(const std::string& token) {
-  uint64_t hash = 0xcbf29ce484222325ULL;
-  for (unsigned char c : token) {
-    hash ^= c;
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
-/// SplitMix64 finalizer: full-avalanche mix of the salted base hash.
-uint64_t Mix(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 MinHasher::MinHasher(const MinHashOptions& options) {
   CEM_CHECK(options.num_hashes > 0);
@@ -37,15 +18,22 @@ MinHasher::MinHasher(const MinHashOptions& options) {
 
 std::vector<uint64_t> MinHasher::Signature(
     const std::vector<std::string>& tokens) const {
-  std::vector<uint64_t> signature(salts_.size(), kEmptySlot);
-  for (const std::string& token : tokens) {
-    const uint64_t base = Fnv1a64(token);
-    for (size_t i = 0; i < salts_.size(); ++i) {
-      const uint64_t h = Mix(base ^ salts_[i]);
-      if (h < signature[i]) signature[i] = h;
-    }
-  }
+  // Hash each token once, then run the salted min-reductions on the
+  // dispatched kernel — the same work the historical per-token loop did,
+  // minus the k-fold re-hash of every token's bytes.
+  thread_local std::vector<uint64_t> hashes;
+  hashes.clear();
+  hashes.reserve(tokens.size());
+  for (const std::string& token : tokens) hashes.push_back(Fnv1a64(token));
+  std::vector<uint64_t> signature(salts_.size());
+  SignatureFromHashes(hashes.data(), hashes.size(), signature.data());
   return signature;
+}
+
+void MinHasher::SignatureFromHashes(const uint64_t* token_hashes,
+                                    size_t num_tokens, uint64_t* out) const {
+  simd::MinHashSignature(token_hashes, num_tokens, salts_.data(),
+                         salts_.size(), out, ActiveSimdLevel());
 }
 
 std::vector<std::vector<uint64_t>> MinHasher::SignatureBatch(
@@ -61,9 +49,15 @@ double MinHasher::EstimateJaccard(const std::vector<uint64_t>& a,
                                   const std::vector<uint64_t>& b) {
   CEM_CHECK(a.size() == b.size() && !a.empty())
       << "signatures must share one MinHasher configuration";
-  size_t agree = 0;
-  for (size_t i = 0; i < a.size(); ++i) agree += a[i] == b[i];
-  return static_cast<double>(agree) / static_cast<double>(a.size());
+  return EstimateJaccard(a.data(), b.data(), a.size());
+}
+
+double MinHasher::EstimateJaccard(const uint64_t* a, const uint64_t* b,
+                                  size_t num_hashes) {
+  CEM_CHECK(num_hashes > 0)
+      << "signatures must share one MinHasher configuration";
+  const size_t agree = simd::CountEqual(a, b, num_hashes, ActiveSimdLevel());
+  return static_cast<double>(agree) / static_cast<double>(num_hashes);
 }
 
 }  // namespace cem::blocking

@@ -25,6 +25,13 @@ struct MinHashOptions {
 /// Two sets agree on component i with probability equal to their Jaccard
 /// similarity, which is what banded LSH exploits. Deterministic: signatures
 /// depend only on (tokens, options), never on global state.
+///
+/// The inner loop runs on the dispatched hot-path kernels (see
+/// minhash_simd.h): tokens are FNV-hashed once, then the k salted
+/// min-reductions execute at ActiveSimdLevel(). Every level is
+/// bit-identical to the historical scalar definition, so signatures (and
+/// the persisted LSH band keys derived from them) never depend on the
+/// CPU or the CEM_SIMD knob.
 class MinHasher {
  public:
   explicit MinHasher(const MinHashOptions& options = {});
@@ -32,6 +39,10 @@ class MinHasher {
   uint32_t num_hashes() const {
     return static_cast<uint32_t>(salts_.size());
   }
+
+  /// The per-permutation salts (length num_hashes) — input to the batched
+  /// kernels in minhash_simd.h.
+  const std::vector<uint64_t>& salts() const { return salts_; }
 
   /// Signature component used for the empty token set (no token can beat
   /// it, so empty sets collide only with empty sets).
@@ -41,6 +52,13 @@ class MinHasher {
   /// — MinHash has set semantics). Callers pass the shared lower-cased
   /// blocking tokens so signatures agree with the token-overlap index.
   std::vector<uint64_t> Signature(const std::vector<std::string>& tokens) const;
+
+  /// Signature of a pre-hashed token set (each element a Fnv1a64 token
+  /// hash — e.g. text::TokenRef::hash or AppendAuthorBlockingTokenHashes
+  /// output). `out` must hold num_hashes() components. Equals
+  /// Signature(tokens) whenever `token_hashes` holds the tokens' hashes.
+  void SignatureFromHashes(const uint64_t* token_hashes, size_t num_tokens,
+                           uint64_t* out) const;
 
   /// Signatures of all token sets, computed in parallel on `ctx`; element i
   /// equals Signature(token_sets[i]) (documents are independent, so the
@@ -53,6 +71,10 @@ class MinHasher {
   /// Signatures must come from the same MinHasher configuration.
   static double EstimateJaccard(const std::vector<uint64_t>& a,
                                 const std::vector<uint64_t>& b);
+
+  /// Flat-array overload for matrix rows (see SignatureMatrix).
+  static double EstimateJaccard(const uint64_t* a, const uint64_t* b,
+                                size_t num_hashes);
 
  private:
   std::vector<uint64_t> salts_;

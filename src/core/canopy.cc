@@ -21,19 +21,24 @@ Cover BuildCanopyCover(const data::Dataset& dataset,
                                  : ExecutionContext::Default();
 
   // Sharded cheap-distance index over author refs (dense doc ids =
-  // position): token extraction and the postings build both run on ctx,
-  // with each worker owning whole token shards.
-  std::vector<std::vector<std::string>> token_sets(refs.size());
+  // position): tokens are emitted straight into a flat arena corpus
+  // (hashed once at emit time), then the postings build runs on ctx with
+  // each worker owning whole token shards.
+  text::TokenCorpus corpus;
   {
     CEM_TRACE("blocking/tokenize");
-    ParallelFor(ctx.pool(), refs.size(), [&](size_t i) {
-      token_sets[i] = blocking::AuthorBlockingTokens(dataset.entity(refs[i]));
-    });
+    corpus = text::TokenCorpus::Build(
+        refs.size(),
+        [&](size_t i, text::TokenCorpus::DocBuilder& builder) {
+          blocking::AppendAuthorBlockingTokens(dataset.entity(refs[i]),
+                                               builder);
+        },
+        ctx);
   }
   text::TokenIndex index(ctx.num_token_shards());
   {
     CEM_TRACE("blocking/token_index_build");
-    index.AddDocuments(token_sets, ctx);
+    index.AddDocuments(std::move(corpus), ctx);
   }
   static obs::Counter& postings_counter =
       obs::MetricsRegistry::Global().counter("blocking_token_postings");

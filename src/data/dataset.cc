@@ -88,11 +88,15 @@ void Dataset::BuildCandidatePairs(const CandidateOptions& options,
 
   // Blocking tokens per reference — the shared definition every blocking
   // structure uses (see blocking/blocking_tokens.h), so candidate pairs,
-  // canopies and LSH signatures agree on what "nearby" means.
-  std::vector<std::vector<std::string>> tokens(n);
-  ParallelFor(ctx.pool(), n, [&](size_t i) {
-    tokens[i] = blocking::AuthorBlockingTokens(entities_[author_refs_[i]]);
-  });
+  // canopies and LSH signatures agree on what "nearby" means. Tokens are
+  // emitted straight into a flat arena corpus, hashed once at emit time.
+  text::TokenCorpus corpus = text::TokenCorpus::Build(
+      n,
+      [&](size_t i, text::TokenCorpus::DocBuilder& builder) {
+        blocking::AppendAuthorBlockingTokens(entities_[author_refs_[i]],
+                                             builder);
+      },
+      ctx);
 
   // Blocking prefilter: per reference i, the doc ids > i worth scoring.
   // The LSH structures are only constructed (and their knobs validated) on
@@ -101,11 +105,12 @@ void Dataset::BuildCandidatePairs(const CandidateOptions& options,
   std::optional<text::TokenIndex> index;
   std::optional<blocking::LshIndex> lsh;
   if (options.use_lsh) {
-    // Sub-quadratic path: reuse the sharded banded index, parallel insert.
+    // Sub-quadratic path: batched signatures over the corpus, sharded
+    // banded index, parallel insert.
     const blocking::MinHasher hasher({options.lsh_num_hashes});
     lsh.emplace(blocking::LshParams{options.lsh_bands, options.lsh_rows},
                 hasher.num_hashes(), ctx.num_shards());
-    lsh->AddDocuments(hasher.SignatureBatch(tokens, ctx), ctx);
+    lsh->AddDocuments(blocking::ComputeSignatures(hasher, corpus, ctx), ctx);
     block_fn = [&lsh](uint32_t i) {
       std::vector<uint32_t> out;
       for (uint32_t other : lsh->Candidates(i)) {
@@ -117,7 +122,7 @@ void Dataset::BuildCandidatePairs(const CandidateOptions& options,
     // Exact path: sharded trigram inverted index (parallel build), full
     // postings scans.
     index.emplace(ctx.num_token_shards());
-    index->AddDocuments(tokens, ctx);
+    index->AddDocuments(std::move(corpus), ctx);
     block_fn = [&](uint32_t i) {
       std::vector<uint32_t> out;
       for (const auto& cand :

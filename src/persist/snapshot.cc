@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <span>
 #include <string_view>
 #include <utility>
 
@@ -592,10 +593,10 @@ Status SaveTokenIndex(const std::string& dir, const text::TokenIndex& index,
     for (size_t doc = s; doc < n; doc += num_shards) ++count;
     out.PutU64(count);
     for (size_t doc = s; doc < n; doc += num_shards) {
-      const std::vector<std::string>& tokens = index.doc_tokens()[doc];
+      const std::span<const text::TokenRef> tokens = index.doc_tokens(doc);
       out.PutU32(static_cast<uint32_t>(doc));
       out.PutU32(static_cast<uint32_t>(tokens.size()));
-      for (const std::string& token : tokens) out.PutString(token);
+      for (const text::TokenRef& token : tokens) out.PutString(token.view());
     }
     shard_status[s] = io::WriteFramedFile(
         (fs::path(dir) / ShardFileName("toki", s)).string(), kTokenIndexMagic,

@@ -21,8 +21,16 @@ IncrementalCover::IncrementalCover(const data::Dataset& dataset,
 
 std::vector<uint64_t> IncrementalCover::ComputeSignature(
     data::EntityId ref) const {
-  return hasher_.Signature(
-      blocking::AuthorBlockingTokens(dataset_.entity(ref)));
+  // Hash-only hot path: token hashes stream into a reused scratch buffer
+  // (no token strings are materialised), then the salted min-reductions
+  // run on the dispatched kernel. Bit-identical to hashing the
+  // AuthorBlockingTokens strings.
+  thread_local std::vector<uint64_t> hashes;
+  hashes.clear();
+  blocking::AppendAuthorBlockingTokenHashes(dataset_.entity(ref), &hashes);
+  std::vector<uint64_t> signature(hasher_.num_hashes());
+  hasher_.SignatureFromHashes(hashes.data(), hashes.size(), signature.data());
+  return signature;
 }
 
 void IncrementalCover::AddMember(uint32_t n, data::EntityId e, bool core,

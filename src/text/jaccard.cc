@@ -1,20 +1,68 @@
 #include "text/jaccard.h"
 
 #include <algorithm>
-#include <set>
 
 #include "util/string_util.h"
 
 namespace cem::text {
+namespace {
+
+/// |A ∩ B| of two sorted, deduplicated ranges by linear merge.
+template <typename It>
+size_t SortedIntersectionSize(It a, It a_end, It b, It b_end) {
+  size_t intersection = 0;
+  while (a != a_end && b != b_end) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++intersection;
+      ++a;
+      ++b;
+    }
+  }
+  return intersection;
+}
+
+}  // namespace
 
 double JaccardSimilarity(const std::vector<std::string>& a,
                          const std::vector<std::string>& b) {
-  std::set<std::string> sa(a.begin(), a.end());
-  std::set<std::string> sb(b.begin(), b.end());
+  // Sort-merge instead of tree sets: same set semantics (duplicates
+  // collapse), one allocation per side, linear intersection scan.
+  std::vector<std::string> sa = a;
+  std::vector<std::string> sb = b;
+  std::sort(sa.begin(), sa.end());
+  sa.erase(std::unique(sa.begin(), sa.end()), sa.end());
+  std::sort(sb.begin(), sb.end());
+  sb.erase(std::unique(sb.begin(), sb.end()), sb.end());
   if (sa.empty() && sb.empty()) return 1.0;
-  size_t intersection = 0;
-  for (const std::string& t : sa) intersection += sb.count(t);
+  const size_t intersection =
+      SortedIntersectionSize(sa.begin(), sa.end(), sb.begin(), sb.end());
   const size_t uni = sa.size() + sb.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+double HashedJaccard(std::span<const TokenRef> a, std::span<const TokenRef> b) {
+  if (a.empty() && b.empty()) return 1.0;
+  // Corpus documents are already sorted + deduplicated by token view (see
+  // TokenCorpus); merge on the views directly — no copies, no hashing.
+  auto ai = a.begin(), bi = b.begin();
+  size_t intersection = 0;
+  while (ai != a.end() && bi != b.end()) {
+    const std::string_view va = ai->view(), vb = bi->view();
+    if (va < vb) {
+      ++ai;
+    } else if (vb < va) {
+      ++bi;
+    } else {
+      ++intersection;
+      ++ai;
+      ++bi;
+    }
+  }
+  const size_t uni = a.size() + b.size() - intersection;
   return static_cast<double>(intersection) / static_cast<double>(uni);
 }
 

@@ -2,9 +2,12 @@
 #define CEM_TEXT_JACCARD_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "text/token_arena.h"
 
 namespace cem::text {
 
@@ -12,6 +15,11 @@ namespace cem::text {
 /// sets). Returns 1.0 when both are empty.
 double JaccardSimilarity(const std::vector<std::string>& a,
                          const std::vector<std::string>& b);
+
+/// Jaccard over two corpus documents (already sorted + deduplicated — see
+/// TokenCorpus): a linear merge over the arena slices, no allocation.
+/// Equals JaccardSimilarity over the same token sets.
+double HashedJaccard(std::span<const TokenRef> a, std::span<const TokenRef> b);
 
 /// Jaccard over whitespace tokens of the two strings.
 double TokenJaccard(std::string_view a, std::string_view b);

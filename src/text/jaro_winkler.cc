@@ -18,8 +18,15 @@ double JaroSimilarity(std::string_view a, std::string_view b) {
   const size_t window =
       std::max(len_a, len_b) / 2 == 0 ? 0 : std::max(len_a, len_b) / 2 - 1;
 
-  std::vector<bool> matched_a(len_a, false);
-  std::vector<bool> matched_b(len_b, false);
+  // Reused per-thread scratch: this runs once per scored candidate pair,
+  // and two heap allocations per call dominated the profile. Plain char
+  // flags beat vector<bool>'s bit addressing in the inner window scan.
+  thread_local std::vector<char> matched_a_buf;
+  thread_local std::vector<char> matched_b_buf;
+  matched_a_buf.assign(len_a, 0);
+  matched_b_buf.assign(len_b, 0);
+  char* const matched_a = matched_a_buf.data();
+  char* const matched_b = matched_b_buf.data();
 
   size_t matches = 0;
   for (size_t i = 0; i < len_a; ++i) {

@@ -3,73 +3,59 @@
 #include <algorithm>
 
 #include "util/logging.h"
-#include "util/string_util.h"
 
 namespace cem::text {
-namespace {
-
-/// Lower-cases, sorts and deduplicates one document's token set — the
-/// canonical per-document form both insertion paths produce.
-std::vector<std::string> NormalizeTokens(
-    const std::vector<std::string>& tokens) {
-  std::vector<std::string> unique;
-  unique.reserve(tokens.size());
-  for (const std::string& t : tokens) unique.push_back(ToLower(t));
-  std::sort(unique.begin(), unique.end());
-  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
-  return unique;
-}
-
-}  // namespace
 
 TokenIndex::TokenIndex(uint32_t num_shards)
     : shards_(std::max(num_shards, 1u)) {}
 
 void TokenIndex::AddDocument(uint32_t doc_id,
                              const std::vector<std::string>& tokens) {
-  if (doc_id >= doc_token_counts_.size()) {
-    doc_token_counts_.resize(doc_id + 1, 0);
-    doc_tokens_.resize(doc_id + 1);
+  CEM_CHECK(doc_id == corpus_.num_docs())
+      << "documents must be appended densely in increasing id order";
+  corpus_.AppendDoc([&](TokenCorpus::DocBuilder& builder) {
+    for (const std::string& t : tokens) builder.EmitLower(t);
+  });
+  for (const TokenRef& ref : corpus_.doc(doc_id)) {
+    shards_[ShardOf(ref)].postings[KeyOf(ref)].push_back(doc_id);
   }
-  CEM_CHECK(doc_token_counts_[doc_id] == 0) << "document added twice";
-  std::vector<std::string> unique = NormalizeTokens(tokens);
-  for (const std::string& t : unique) {
-    shards_[ShardOf(t)].postings[t].push_back(doc_id);
-  }
-  doc_token_counts_[doc_id] = static_cast<uint32_t>(unique.size());
-  doc_tokens_[doc_id] = std::move(unique);
 }
 
 void TokenIndex::AddDocuments(
     const std::vector<std::vector<std::string>>& token_sets,
     const ExecutionContext& ctx) {
-  CEM_CHECK(doc_token_counts_.empty()) << "AddDocuments on a non-empty index";
-  const size_t num_docs = token_sets.size();
-  doc_tokens_.resize(num_docs);
-  doc_token_counts_.resize(num_docs, 0);
-  // Parallel phase: normalise every document's token set.
-  ParallelFor(ctx.pool(), num_docs, [&](size_t doc) {
-    doc_tokens_[doc] = NormalizeTokens(token_sets[doc]);
-    doc_token_counts_[doc] = static_cast<uint32_t>(doc_tokens_[doc].size());
-  });
+  CEM_CHECK(empty()) << "AddDocuments on a non-empty index";
+  corpus_ = TokenCorpus::Build(
+      token_sets.size(),
+      [&](size_t doc, TokenCorpus::DocBuilder& builder) {
+        for (const std::string& t : token_sets[doc]) builder.EmitLower(t);
+      },
+      ctx);
+  InsertPostings(0, ctx);
+}
+
+void TokenIndex::AddDocuments(TokenCorpus corpus, const ExecutionContext& ctx) {
+  CEM_CHECK(empty()) << "AddDocuments on a non-empty index";
+  corpus_ = std::move(corpus);
+  InsertPostings(0, ctx);
+}
+
+void TokenIndex::InsertPostings(size_t first_doc, const ExecutionContext& ctx) {
   // Partition the (token, doc) stream by owning shard — one cheap linear
   // append pass, in doc order, so each shard's list replays serial
   // AddDocument order exactly.
   struct Entry {
-    const std::string* token;
+    const TokenRef* token;
     uint32_t doc;
   };
+  const size_t num_docs = corpus_.num_docs();
   std::vector<std::vector<Entry>> per_shard(shards_.size());
-  size_t total_postings = 0;
-  for (size_t doc = 0; doc < num_docs; ++doc) {
-    total_postings += doc_tokens_[doc].size();
-  }
   for (auto& list : per_shard) {
-    list.reserve(total_postings / shards_.size() + 1);
+    list.reserve(corpus_.num_tokens() / shards_.size() + 1);
   }
-  for (size_t doc = 0; doc < num_docs; ++doc) {
-    for (const std::string& t : doc_tokens_[doc]) {
-      per_shard[ShardOf(t)].push_back({&t, static_cast<uint32_t>(doc)});
+  for (size_t doc = first_doc; doc < num_docs; ++doc) {
+    for (const TokenRef& ref : corpus_.doc(doc)) {
+      per_shard[ShardOf(ref)].push_back({&ref, static_cast<uint32_t>(doc)});
     }
   }
   // Parallel insertion: each worker owns whole shards, so the (expensive)
@@ -77,29 +63,30 @@ void TokenIndex::AddDocuments(
   ParallelFor(ctx.pool(), shards_.size(), [&](size_t s) {
     Shard& shard = shards_[s];
     for (const Entry& entry : per_shard[s]) {
-      shard.postings[*entry.token].push_back(entry.doc);
+      shard.postings[KeyOf(*entry.token)].push_back(entry.doc);
     }
   });
 }
 
 std::vector<TokenIndex::Neighbor> TokenIndex::Candidates(
     uint32_t doc_id, double min_score, size_t* num_scored) const {
-  CEM_CHECK(doc_id < doc_token_counts_.size());
+  CEM_CHECK(doc_id < corpus_.num_docs());
   // One lookup per token: collect the postings lists, then reserve the
   // overlap map from their summed sizes (bounds the number of distinct
   // overlapping documents) so it never rehashes mid-scan.
+  const std::span<const TokenRef> my_tokens = corpus_.doc(doc_id);
   size_t postings_total = 0;
   std::vector<const std::vector<uint32_t>*> lists;
-  lists.reserve(doc_tokens_[doc_id].size());
-  for (const std::string& t : doc_tokens_[doc_id]) {
-    const Shard& shard = shards_[ShardOf(t)];
-    auto it = shard.postings.find(t);
+  lists.reserve(my_tokens.size());
+  for (const TokenRef& ref : my_tokens) {
+    const Shard& shard = shards_[ShardOf(ref)];
+    auto it = shard.postings.find(KeyOf(ref));
     if (it == shard.postings.end()) continue;
     lists.push_back(&it->second);
     postings_total += it->second.size();
   }
   std::unordered_map<uint32_t, uint32_t> overlap;
-  overlap.reserve(std::min(postings_total, doc_token_counts_.size()));
+  overlap.reserve(std::min(postings_total, corpus_.num_docs()));
   for (const std::vector<uint32_t>* list : lists) {
     for (uint32_t other : *list) {
       if (other != doc_id) ++overlap[other];
@@ -108,9 +95,10 @@ std::vector<TokenIndex::Neighbor> TokenIndex::Candidates(
   if (num_scored != nullptr) *num_scored = overlap.size();
   std::vector<Neighbor> out;
   out.reserve(overlap.size());
-  const double my_count = doc_token_counts_[doc_id];
+  const double my_count = static_cast<double>(my_tokens.size());
   for (const auto& [other, shared] : overlap) {
-    const double denom = std::max<double>(my_count, doc_token_counts_[other]);
+    const double denom =
+        std::max<double>(my_count, corpus_.doc(other).size());
     const double score = denom == 0 ? 0.0 : shared / denom;
     if (score >= min_score) out.push_back({other, score});
   }

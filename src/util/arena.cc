@@ -1,0 +1,92 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace cem {
+
+Arena::Arena(size_t block_bytes)
+    : block_bytes_(std::max<size_t>(block_bytes, 64)) {}
+
+Arena::Arena(Arena&& other) noexcept
+    : block_bytes_(other.block_bytes_),
+      blocks_(std::move(other.blocks_)),
+      ptr_(std::exchange(other.ptr_, nullptr)),
+      end_(std::exchange(other.end_, nullptr)),
+      bytes_allocated_(std::exchange(other.bytes_allocated_, 0)),
+      bytes_reserved_(std::exchange(other.bytes_reserved_, 0)) {
+  other.blocks_.clear();
+}
+
+Arena& Arena::operator=(Arena&& other) noexcept {
+  if (this != &other) {
+    block_bytes_ = other.block_bytes_;
+    blocks_ = std::move(other.blocks_);
+    other.blocks_.clear();
+    ptr_ = std::exchange(other.ptr_, nullptr);
+    end_ = std::exchange(other.end_, nullptr);
+    bytes_allocated_ = std::exchange(other.bytes_allocated_, 0);
+    bytes_reserved_ = std::exchange(other.bytes_reserved_, 0);
+  }
+  return *this;
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  CEM_CHECK(align != 0 && (align & (align - 1)) == 0)
+      << "alignment must be a power of two";
+  const uintptr_t raw = reinterpret_cast<uintptr_t>(ptr_);
+  const size_t padding = (align - (raw & (align - 1))) & (align - 1);
+  if (static_cast<size_t>(end_ - ptr_) >= padding + bytes) {
+    char* out = ptr_ + padding;
+    ptr_ = out + bytes;
+    bytes_allocated_ += bytes;
+    return out;
+  }
+  // Fresh blocks come from operator new[], which is aligned for every
+  // fundamental type; over-reserve so the aligned cut always fits.
+  AddBlock(bytes + align);
+  const uintptr_t base = reinterpret_cast<uintptr_t>(ptr_);
+  char* out = ptr_ + ((align - (base & (align - 1))) & (align - 1));
+  ptr_ = out + bytes;
+  bytes_allocated_ += bytes;
+  return out;
+}
+
+char* Arena::AllocateBytesSlow(size_t bytes) {
+  AddBlock(bytes);
+  char* out = ptr_;
+  ptr_ += bytes;
+  bytes_allocated_ += bytes;
+  return out;
+}
+
+std::string_view Arena::CopyString(std::string_view bytes) {
+  if (bytes.empty()) return {};
+  char* dst = AllocateBytes(bytes.size());
+  std::memcpy(dst, bytes.data(), bytes.size());
+  return {dst, bytes.size()};
+}
+
+void Arena::Reset() {
+  blocks_.clear();
+  ptr_ = end_ = nullptr;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = 0;
+}
+
+void Arena::AddBlock(size_t min_bytes) {
+  const size_t capacity = std::max(block_bytes_, min_bytes);
+  Block block;
+  block.data = std::make_unique<char[]>(capacity);
+  block.capacity = capacity;
+  ptr_ = block.data.get();
+  end_ = ptr_ + capacity;
+  bytes_reserved_ += capacity;
+  blocks_.push_back(std::move(block));
+}
+
+}  // namespace cem

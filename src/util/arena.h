@@ -1,0 +1,83 @@
+#ifndef CEM_UTIL_ARENA_H_
+#define CEM_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace cem {
+
+/// Bump-pointer arena: many small allocations, one lifetime. Allocation is
+/// a pointer increment inside the current block; exhausted blocks stay
+/// alive (pointers handed out are stable for the arena's lifetime) and a
+/// new block is chained on. There is no per-allocation free — everything
+/// is released when the arena is destroyed or Reset().
+///
+/// This is the backing store of the flat token layout (text::TokenCorpus):
+/// token bytes for a whole chunk of documents live contiguously instead of
+/// one heap node per std::string, which is what makes the tokenise/hash
+/// hot path cache- and allocator-friendly.
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = size_t{1} << 16;
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  // Moves transfer the blocks and leave the source empty (not dangling
+  // into the destination's storage).
+  Arena(Arena&& other) noexcept;
+  Arena& operator=(Arena&& other) noexcept;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  /// Requests larger than the block size get a dedicated block.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  /// Unaligned char storage — the token-byte fast path.
+  char* AllocateBytes(size_t bytes) {
+    if (static_cast<size_t>(end_ - ptr_) >= bytes) {
+      char* out = ptr_;
+      ptr_ += bytes;
+      bytes_allocated_ += bytes;
+      return out;
+    }
+    return AllocateBytesSlow(bytes);
+  }
+
+  /// Copies `bytes` into the arena; the returned view is stable for the
+  /// arena's lifetime. Not NUL-terminated.
+  std::string_view CopyString(std::string_view bytes);
+
+  /// Drops every block and allocation count; previously returned pointers
+  /// become invalid.
+  void Reset();
+
+  /// Total bytes handed out (excluding alignment padding).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Total block capacity reserved from the heap.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t capacity = 0;
+  };
+
+  char* AllocateBytesSlow(size_t bytes);
+  /// Makes a fresh block of at least `min_bytes` the current one.
+  void AddBlock(size_t min_bytes);
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  /// Bump window inside the current (last) block.
+  char* ptr_ = nullptr;
+  char* end_ = nullptr;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace cem
+
+#endif  // CEM_UTIL_ARENA_H_

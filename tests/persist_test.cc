@@ -504,7 +504,15 @@ TEST(TokenIndexPersistence, RoundTripsAcrossShardCounts) {
     EXPECT_EQ(loaded.num_documents(), original.num_documents());
     EXPECT_EQ(loaded.num_tokens(), original.num_tokens());
     EXPECT_EQ(loaded.num_postings(), original.num_postings());
-    EXPECT_EQ(loaded.doc_tokens(), original.doc_tokens());
+    for (uint32_t doc = 0; doc < original.num_documents(); ++doc) {
+      const auto expected_tokens = original.doc_tokens(doc);
+      const auto actual_tokens = loaded.doc_tokens(doc);
+      ASSERT_EQ(actual_tokens.size(), expected_tokens.size()) << "doc " << doc;
+      for (size_t t = 0; t < expected_tokens.size(); ++t) {
+        EXPECT_EQ(actual_tokens[t].view(), expected_tokens[t].view());
+        EXPECT_EQ(actual_tokens[t].hash, expected_tokens[t].hash);
+      }
+    }
     for (uint32_t doc = 0; doc < original.num_documents(); ++doc) {
       size_t scored_original = 0;
       size_t scored_loaded = 0;

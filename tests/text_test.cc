@@ -1,5 +1,8 @@
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -8,7 +11,9 @@
 #include "text/jaro_winkler.h"
 #include "text/levenshtein.h"
 #include "text/similarity_level.h"
+#include "text/token_arena.h"
 #include "text/token_index.h"
+#include "util/hash.h"
 
 namespace cem::text {
 namespace {
@@ -259,6 +264,134 @@ TEST(TokenIndexTest, AddDocumentsMatchesSerialInsertion) {
     for (size_t i = 0; i < actual.size(); ++i) {
       EXPECT_EQ(actual[i].doc_id, expected[i].doc_id);
       EXPECT_EQ(actual[i].score, expected[i].score);
+    }
+  }
+}
+
+// ----------------------------------------------------------- TokenCorpus --
+
+std::vector<std::string_view> Views(std::span<const TokenRef> tokens) {
+  std::vector<std::string_view> out;
+  for (const TokenRef& token : tokens) out.push_back(token.view());
+  return out;
+}
+
+TEST(TokenCorpusTest, NormalisesLikeTokenIndex) {
+  // Lower-cased, sorted, deduplicated — the historical per-document form.
+  TokenCorpus corpus;
+  corpus.AppendDoc([](TokenCorpus::DocBuilder& b) {
+    b.EmitLower("Beta");
+    b.EmitLower("alpha");
+    b.EmitLower("BETA");
+    b.EmitLower("gamma");
+  });
+  ASSERT_EQ(corpus.num_docs(), 1u);
+  EXPECT_EQ(Views(corpus.doc(0)),
+            (std::vector<std::string_view>{"alpha", "beta", "gamma"}));
+  EXPECT_EQ(corpus.num_tokens(), 3u);
+}
+
+TEST(TokenCorpusTest, TokenRefHashMatchesFnv1a64OfView) {
+  TokenCorpus corpus;
+  corpus.AppendDoc([](TokenCorpus::DocBuilder& b) {
+    b.EmitLower("Doe");
+    b.Emit("j|do");
+  });
+  for (const TokenRef& token : corpus.doc(0)) {
+    EXPECT_EQ(token.hash, Fnv1a64(token.view())) << token.view();
+  }
+}
+
+TEST(TokenCorpusTest, AliasedTrigramsShareInternedStorage) {
+  TokenCorpus corpus;
+  corpus.AppendDoc([](TokenCorpus::DocBuilder& b) {
+    const std::string_view interned = b.InternLower("Smith");
+    EXPECT_EQ(interned, "smith");
+    for (size_t i = 0; i + 3 <= interned.size(); ++i) {
+      b.EmitAlias(interned.data() + i, 3);
+    }
+  });
+  const auto tokens = corpus.doc(0);
+  EXPECT_EQ(Views(tokens),
+            (std::vector<std::string_view>{"ith", "mit", "smi"}));
+  // Aliases slice the single interned copy: 5 bytes, not 9.
+  EXPECT_EQ(corpus.arena_bytes(), 5u);
+}
+
+TEST(TokenCorpusTest, BuildIdenticalAcrossThreadCounts) {
+  // Enough documents to span multiple fixed-size chunks.
+  const size_t num_docs = TokenCorpus::kChunkDocs * 3 + 17;
+  const auto tokenize = [](size_t doc, TokenCorpus::DocBuilder& b) {
+    b.EmitLower("Doc" + std::to_string(doc % 100));
+    b.EmitLower("shared");
+    if (doc % 3 == 0) b.EmitLower("Third");
+  };
+  ExecutionContext serial(1);
+  const TokenCorpus reference = TokenCorpus::Build(num_docs, tokenize, serial);
+  ASSERT_EQ(reference.num_docs(), num_docs);
+  for (uint32_t threads : {2u, 8u}) {
+    ExecutionContext ctx(threads);
+    const TokenCorpus corpus = TokenCorpus::Build(num_docs, tokenize, ctx);
+    ASSERT_EQ(corpus.num_docs(), num_docs);
+    EXPECT_EQ(corpus.num_tokens(), reference.num_tokens());
+    EXPECT_EQ(corpus.arena_bytes(), reference.arena_bytes());
+    for (size_t doc = 0; doc < num_docs; ++doc) {
+      const auto actual = corpus.doc(doc);
+      const auto expected = reference.doc(doc);
+      ASSERT_EQ(actual.size(), expected.size()) << "doc " << doc;
+      for (size_t i = 0; i < actual.size(); ++i) {
+        EXPECT_EQ(actual[i].view(), expected[i].view());
+        EXPECT_EQ(actual[i].hash, expected[i].hash);
+      }
+    }
+  }
+}
+
+TEST(TokenCorpusTest, AppendDocMatchesBuild) {
+  const auto tokenize = [](size_t doc, TokenCorpus::DocBuilder& b) {
+    b.EmitLower("tok" + std::to_string(doc));
+    b.EmitLower("common");
+  };
+  ExecutionContext serial(1);
+  const TokenCorpus built = TokenCorpus::Build(5, tokenize, serial);
+  TokenCorpus appended;
+  for (size_t doc = 0; doc < 5; ++doc) {
+    appended.AppendDoc(
+        [&](TokenCorpus::DocBuilder& b) { tokenize(doc, b); });
+  }
+  ASSERT_EQ(appended.num_docs(), built.num_docs());
+  for (size_t doc = 0; doc < 5; ++doc) {
+    EXPECT_EQ(Views(appended.doc(doc)), Views(built.doc(doc)));
+  }
+}
+
+TEST(TokenCorpusTest, MovePreservesDocuments) {
+  TokenCorpus corpus;
+  corpus.AppendDoc([](TokenCorpus::DocBuilder& b) { b.EmitLower("Alpha"); });
+  TokenCorpus moved(std::move(corpus));
+  ASSERT_EQ(moved.num_docs(), 1u);
+  EXPECT_EQ(Views(moved.doc(0)), (std::vector<std::string_view>{"alpha"}));
+}
+
+TEST(HashedJaccardTest, MatchesStringJaccardOnCorpusDocs) {
+  TokenCorpus corpus;
+  const std::vector<std::vector<std::string>> docs = {
+      {"a", "b", "c"},
+      {"b", "c", "d", "e"},
+      {},
+      {"a", "b", "c"},
+      {"x"},
+  };
+  for (const auto& tokens : docs) {
+    corpus.AppendDoc([&](TokenCorpus::DocBuilder& b) {
+      for (const std::string& token : tokens) b.EmitLower(token);
+    });
+  }
+  for (size_t i = 0; i < docs.size(); ++i) {
+    for (size_t j = 0; j < docs.size(); ++j) {
+      EXPECT_DOUBLE_EQ(HashedJaccard(corpus.doc(i), corpus.doc(j)),
+                       JaccardSimilarity(docs[i], docs[j]))
+          << i << " vs " << j;
     }
   }
 }

@@ -1,16 +1,22 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "util/arena.h"
 #include "util/execution_context.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -490,6 +496,81 @@ TEST(LoggingTest, ResolveEnvValueBadValueFallsBackToInfo) {
 TEST(LoggingTest, LogThreadIdStableWithinThread) {
   const uint32_t id = LogThreadId();
   EXPECT_EQ(LogThreadId(), id);
+}
+
+// ---------------------------------------------------------------- Arena --
+
+TEST(ArenaTest, CopyStringReturnsStableDistinctStorage) {
+  Arena arena;
+  const std::string source = "hello arena";
+  const std::string_view copied = arena.CopyString(source);
+  EXPECT_EQ(copied, source);
+  EXPECT_NE(copied.data(), source.data());
+  // Exhaust the current block; the earlier view must stay valid (blocks
+  // are chained, never reallocated).
+  for (int i = 0; i < 1000; ++i) {
+    arena.CopyString(std::string(200, 'x'));
+  }
+  EXPECT_EQ(copied, source);
+}
+
+TEST(ArenaTest, AllocateRespectsAlignment) {
+  Arena arena(/*block_bytes=*/128);
+  arena.AllocateBytes(1);  // misalign the bump pointer
+  void* p = arena.Allocate(sizeof(uint64_t), alignof(uint64_t));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(uint64_t), 0u);
+  *static_cast<uint64_t*>(p) = 0xdeadbeefULL;  // must not fault
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedBlock) {
+  Arena arena(/*block_bytes=*/64);
+  char* big = arena.AllocateBytes(10000);
+  ASSERT_NE(big, nullptr);
+  std::fill(big, big + 10000, 'z');
+  EXPECT_GE(arena.bytes_reserved(), 10000u);
+  EXPECT_GE(arena.bytes_allocated(), 10000u);
+}
+
+TEST(ArenaTest, BytesAllocatedCountsHandedOutBytes) {
+  Arena arena;
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  arena.AllocateBytes(7);
+  arena.CopyString("abc");
+  EXPECT_EQ(arena.bytes_allocated(), 10u);
+}
+
+TEST(ArenaTest, ResetDropsAllocationCount) {
+  Arena arena;
+  arena.CopyString("some bytes");
+  EXPECT_GT(arena.bytes_allocated(), 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  // Arena is reusable after Reset.
+  EXPECT_EQ(arena.CopyString("again"), "again");
+}
+
+TEST(ArenaTest, MoveTransfersStorageAndEmptiesSource) {
+  Arena source;
+  const std::string_view view = source.CopyString("moved bytes");
+  Arena dest(std::move(source));
+  EXPECT_EQ(view, "moved bytes");  // storage followed the move
+  EXPECT_GT(dest.bytes_allocated(), 0u);
+  EXPECT_EQ(source.bytes_allocated(), 0u);
+  // The moved-from arena must allocate fresh blocks, not scribble on dest.
+  const std::string_view fresh = source.CopyString("fresh");
+  EXPECT_EQ(fresh, "fresh");
+  EXPECT_EQ(view, "moved bytes");
+}
+
+// ----------------------------------------------------------------- Hash --
+
+TEST(HashTest, IncrementalFnvMatchesOneShot) {
+  const std::string_view text = "token bytes";
+  uint64_t h = kFnv1a64Seed;
+  for (char c : text) h = Fnv1a64Byte(h, static_cast<unsigned char>(c));
+  EXPECT_EQ(h, Fnv1a64(text));
+  EXPECT_EQ(Fnv1a64Append(kFnv1a64Seed, text), Fnv1a64(text));
+  EXPECT_EQ(Fnv1a64(""), kFnv1a64Seed);
 }
 
 // ------------------------------------------------------------ ScopedTimer --
