@@ -62,11 +62,11 @@ CEM_SIMD=scalar ctest --test-dir "${BUILD_DIR}" -L tier1 -j "${JOBS}" \
   --output-on-failure
 
 echo "== ctest -L bench_smoke"
-# ablation_blocking, bench_streaming, bench_persist and bench_hotpath are
-# excluded here: the regression gate below runs the same binaries at the
-# same scale (with JSON on), so one run covers both.
+# ablation_blocking, bench_streaming, bench_persist, bench_hotpath and
+# bench_serve are excluded here: the regression gate below runs the same
+# binaries at the same scale (with JSON on), so one run covers both.
 ctest --test-dir "${BUILD_DIR}" -L bench_smoke \
-  -E "bench_smoke_ablation_blocking|bench_smoke_streaming|bench_smoke_persist|bench_smoke_hotpath" \
+  -E "bench_smoke_ablation_blocking|bench_smoke_streaming|bench_smoke_persist|bench_smoke_hotpath|bench_smoke_serve" \
   -j "${JOBS}" --output-on-failure
 
 echo "== bench regression gate (tracked counters, >15% slowdown fails)"
@@ -87,6 +87,8 @@ CEM_BENCH_SCALE=0.05 CEM_BENCH_JSON_DIR="${BENCH_JSON_DIR}" \
   "${BUILD_DIR}/bench_persist" > /dev/null
 CEM_BENCH_SCALE=0.05 CEM_BENCH_JSON_DIR="${BENCH_JSON_DIR}" \
   "${BUILD_DIR}/bench_hotpath" > /dev/null
+CEM_BENCH_SCALE=0.05 CEM_BENCH_JSON_DIR="${BENCH_JSON_DIR}" \
+  "${BUILD_DIR}/bench_serve" > /dev/null
 shopt -s nullglob
 compared=0
 for report in "${BENCH_JSON_DIR}"/BENCH_*.json; do

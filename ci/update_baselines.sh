@@ -28,7 +28,7 @@ echo "== configure + build bench binaries (${BUILD_DIR})"
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCEM_WERROR=ON > /dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
   --target bench_ablation_blocking bench_bench_streaming bench_bench_persist \
-  bench_bench_hotpath
+  bench_bench_hotpath bench_bench_serve
 
 echo "== run benches at CEM_BENCH_SCALE=${SCALE}"
 TMP_DIR="$(mktemp -d)"
@@ -41,6 +41,8 @@ CEM_BENCH_SCALE="${SCALE}" CEM_BENCH_JSON_DIR="${TMP_DIR}" \
   "${BUILD_DIR}/bench_persist" > /dev/null
 CEM_BENCH_SCALE="${SCALE}" CEM_BENCH_JSON_DIR="${TMP_DIR}" \
   "${BUILD_DIR}/bench_hotpath" > /dev/null
+CEM_BENCH_SCALE="${SCALE}" CEM_BENCH_JSON_DIR="${TMP_DIR}" \
+  "${BUILD_DIR}/bench_serve" > /dev/null
 
 mkdir -p "${BASELINE_DIR}"
 for report in "${TMP_DIR}"/BENCH_*.json; do

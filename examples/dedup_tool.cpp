@@ -7,7 +7,13 @@
 //              [--blocking canopy|lsh] [--threads N]
 //              [--stream] [--stream-chunk N] [--arrival-seed S]
 //              [--snapshot-dir DIR] [--snapshot-every N] [--recover]
-//              [--fsync] [--metrics-json PATH] [--trace-json PATH]
+//              [--fsync] [--serve] [--query-file PATH] [--qps N]
+//              [--metrics-json PATH] [--trace-json PATH]
+//
+// Every flag accepts both `--flag value` and `--flag=value`; the full
+// surface lives in one place, serve::DedupToolOptions
+// (src/serve/tool_options.h), parsed by ParseDedupToolArgs — this file
+// only consumes the resulting structs.
 //
 // Reads a TSV corpus (see data/tsv_io.h; --generate synthesises one
 // instead), builds candidate pairs and a total cover, runs the chosen
@@ -20,6 +26,14 @@
 // checked for equivalence against the batch SMP run, and the per-insert
 // work counters are printed.
 //
+// --serve (implies --stream) stands up a serve::MatchService over the
+// streaming matcher and answers point queries FROM A SECOND THREAD while
+// ingest proceeds — the online serving demo. Queries come from
+// --query-file (one reference id per line) or, by default, a
+// deterministic sample of the corpus references; --qps throttles the
+// query thread (0 = as fast as possible). Persistence does not combine
+// with --serve yet.
+//
 // --snapshot-dir (default: the CEM_SNAPSHOT_DIR environment variable)
 // makes the streamed run durable: every chunk is WAL-appended before it
 // is applied and a snapshot is taken every --snapshot-every inserts (see
@@ -27,9 +41,9 @@
 // newest complete snapshot plus WAL tail — and streams only the
 // references that were not yet ingested; the recovered run converges to
 // the same matches as an uninterrupted one. The arrival seed and chunk
-// size are persisted alongside the state (arrival.meta): a recovered run
-// continues the exact shuffle the crashed one fed, and passing
-// conflicting flags is an error rather than a silent divergence.
+// size are persisted alongside the state (persist::ArrivalMeta): a
+// recovered run continues the exact shuffle the crashed one fed, and
+// passing conflicting flags is an error rather than a silent divergence.
 // --fsync extends durability from process crashes to power loss.
 //
 // Observability: --metrics-json writes the process metrics registry
@@ -37,16 +51,18 @@
 // flat JSON object at exit, and refreshes it periodically during --stream
 // ingest so an operator can watch a long run converge. --trace-json
 // enables scoped-span tracing and writes a Chrome trace_event array
-// (load it in chrome://tracing or Perfetto). Both accept --flag PATH and
-// --flag=PATH forms.
+// (load it in chrome://tracing or Perfetto).
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "blocking/lsh_cover.h"
@@ -61,6 +77,8 @@
 #include "obs/trace.h"
 #include "persist/recovery.h"
 #include "rules/rules_matcher.h"
+#include "serve/match_service.h"
+#include "serve/tool_options.h"
 #include "stream/streaming_matcher.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -69,184 +87,138 @@ namespace {
 
 using namespace cem;
 
-struct Args {
-  std::string input;
-  std::string output;
-  std::string matcher = "mln";
-  std::string scheme = "mmp";
-  std::string generate = "dblp";
-  /// Defaults from CEM_BLOCKING (like the benches); the flag overrides.
-  std::string blocking = core::BlockingStrategyName(eval::BenchBlocking());
-  double scale = 0.5;
-  uint32_t machines = 1;
-  /// Worker threads of the blocking/matching pipeline; 0 = the process
-  /// default (CEM_THREADS, or hardware concurrency).
-  uint32_t threads = 0;
-  /// Streaming ingest replay instead of the batch pipeline.
-  bool stream = false;
-  /// References per AddBatch chunk in --stream mode (0 = one at a time).
-  uint32_t stream_chunk = 64;
-  bool stream_chunk_set = false;  // Explicit flag vs default.
-  /// Seed of the random arrival order in --stream mode.
-  uint64_t arrival_seed = 1;
-  bool arrival_seed_set = false;  // Explicit flag vs default.
-  /// Durable state directory for --stream (empty = no persistence).
-  /// Defaults from CEM_SNAPSHOT_DIR so deployments can set it globally.
-  std::string snapshot_dir = [] {
-    const char* env = std::getenv("CEM_SNAPSHOT_DIR");
-    return std::string(env == nullptr ? "" : env);
-  }();
-  /// Auto-snapshot interval in inserts (0 = WAL only).
-  size_t snapshot_every = 4096;
-  /// Resume from --snapshot-dir state instead of starting fresh.
-  bool recover = false;
-  /// fsync WAL appends and snapshot files (survive power loss).
-  bool fsync = false;
-  /// Write the metrics registry as flat JSON here (empty = off).
-  std::string metrics_json;
-  /// Enable tracing and write a Chrome trace_event array here (empty = off).
-  std::string trace_json;
-};
-
-bool ParseArgs(int argc, char** argv, Args* args) {
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", flag);
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    // `--flag=value` form (the observability flags document it).
-    auto eq_value = [&](const char* flag) -> const char* {
-      const size_t len = std::strlen(flag);
-      if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
-        return argv[i] + len + 1;
-      }
-      return nullptr;
-    };
-    if (!std::strcmp(argv[i], "--input")) {
-      const char* v = next("--input");
-      if (!v) return false;
-      args->input = v;
-    } else if (!std::strcmp(argv[i], "--output")) {
-      const char* v = next("--output");
-      if (!v) return false;
-      args->output = v;
-    } else if (!std::strcmp(argv[i], "--matcher")) {
-      const char* v = next("--matcher");
-      if (!v) return false;
-      args->matcher = v;
-    } else if (!std::strcmp(argv[i], "--scheme")) {
-      const char* v = next("--scheme");
-      if (!v) return false;
-      args->scheme = v;
-    } else if (!std::strcmp(argv[i], "--generate")) {
-      const char* v = next("--generate");
-      if (!v) return false;
-      args->generate = v;
-    } else if (!std::strcmp(argv[i], "--blocking")) {
-      const char* v = next("--blocking");
-      if (!v) return false;
-      args->blocking = v;
-    } else if (!std::strcmp(argv[i], "--scale")) {
-      const char* v = next("--scale");
-      if (!v) return false;
-      args->scale = std::atof(v);
-    } else if (!std::strcmp(argv[i], "--machines")) {
-      const char* v = next("--machines");
-      if (!v) return false;
-      args->machines = static_cast<uint32_t>(std::atoi(v));
-    } else if (!std::strcmp(argv[i], "--threads")) {
-      const char* v = next("--threads");
-      if (!v) return false;
-      const int parsed = std::atoi(v);  // <= 0 means "process default".
-      args->threads = parsed > 0 ? static_cast<uint32_t>(parsed) : 0;
-    } else if (!std::strcmp(argv[i], "--stream")) {
-      args->stream = true;
-    } else if (!std::strcmp(argv[i], "--stream-chunk")) {
-      const char* v = next("--stream-chunk");
-      if (!v) return false;
-      args->stream_chunk = static_cast<uint32_t>(std::atoi(v));
-      args->stream_chunk_set = true;
-    } else if (!std::strcmp(argv[i], "--arrival-seed")) {
-      const char* v = next("--arrival-seed");
-      if (!v) return false;
-      args->arrival_seed = static_cast<uint64_t>(std::atoll(v));
-      args->arrival_seed_set = true;
-    } else if (!std::strcmp(argv[i], "--snapshot-dir")) {
-      const char* v = next("--snapshot-dir");
-      if (!v) return false;
-      args->snapshot_dir = v;
-    } else if (!std::strcmp(argv[i], "--snapshot-every")) {
-      const char* v = next("--snapshot-every");
-      if (!v) return false;
-      const long long parsed = std::atoll(v);
-      args->snapshot_every = parsed > 0 ? static_cast<size_t>(parsed) : 0;
-    } else if (!std::strcmp(argv[i], "--recover")) {
-      args->recover = true;
-    } else if (!std::strcmp(argv[i], "--fsync")) {
-      args->fsync = true;
-    } else if (!std::strcmp(argv[i], "--metrics-json")) {
-      const char* v = next("--metrics-json");
-      if (!v) return false;
-      args->metrics_json = v;
-    } else if (const char* mv = eq_value("--metrics-json")) {
-      args->metrics_json = mv;
-    } else if (!std::strcmp(argv[i], "--trace-json")) {
-      const char* v = next("--trace-json");
-      if (!v) return false;
-      args->trace_json = v;
-    } else if (const char* tv = eq_value("--trace-json")) {
-      args->trace_json = tv;
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      return false;
-    }
+/// The query workload of --serve: ids from --query-file, or a
+/// deterministic sample of the corpus references (every k-th id, capped
+/// at ~1024 queries — enough to exercise the service without the sample
+/// itself dominating the run).
+std::vector<data::EntityId> LoadQueries(const serve::ServeToolOptions& opts,
+                                        const data::Dataset& dataset) {
+  std::vector<data::EntityId> queries;
+  if (!opts.query_file.empty()) {
+    std::ifstream in(opts.query_file);
+    unsigned long long id = 0;
+    while (in >> id) queries.push_back(static_cast<data::EntityId>(id));
+    return queries;
   }
-  return true;
+  const std::vector<data::EntityId>& refs = dataset.author_refs();
+  const size_t step = std::max<size_t>(1, refs.size() / 1024);
+  for (size_t i = 0; i < refs.size(); i += step) queries.push_back(refs[i]);
+  return queries;
 }
 
-// --- arrival sidecar --------------------------------------------------------
-// The StateFingerprint binds a state directory to the dataset and cover
-// options, but not to this tool's arrival shuffle: recovering with a
-// different --arrival-seed would pass the fingerprint check and then feed
-// references from a different permutation starting at num_live(),
-// silently diverging from the stream the crashed run fed. The seed (and
-// the chunk size, which fixes the replayed drain boundaries) therefore
-// persist in a sidecar next to the WAL and are reconciled on --recover.
+/// The --serve run: streamed ingest through a MatchService on this
+/// thread, point queries against it from a reader thread, both over the
+/// same live state. Returns the converged match set.
+core::MatchSet RunServe(const core::Matcher& matcher,
+                        const serve::DedupToolOptions& args,
+                        const ExecutionContext& ctx) {
+  stream::StreamingOptions stream_options;
+  stream_options.context = &ctx;
+  stream::StreamingMatcher streaming(matcher, stream_options);
+  serve::MatchService service(streaming);
 
-std::string ArrivalMetaPath(const std::string& dir) {
-  return dir + "/arrival.meta";
-}
+  const data::Dataset& dataset = matcher.dataset();
+  std::vector<data::EntityId> refs = dataset.author_refs();
+  Rng rng(args.stream.arrival_seed);
+  rng.Shuffle(refs);
+  const std::vector<data::EntityId> queries =
+      LoadQueries(args.serve, dataset);
+  if (queries.empty()) {
+    std::fprintf(stderr, "no queries to serve\n");
+    return core::MatchSet();
+  }
 
-bool WriteArrivalMeta(const std::string& dir, uint64_t seed, uint32_t chunk) {
-  std::ofstream out(ArrivalMetaPath(dir), std::ios::trunc);
-  out << "arrival_seed\t" << seed << "\nstream_chunk\t" << chunk << "\n";
-  return static_cast<bool>(out);
-}
+  std::atomic<bool> ingest_done{false};
+  std::atomic<uint64_t> queries_answered{0};
+  std::atomic<uint64_t> query_errors{0};
+  std::thread reader([&] {
+    using clock = std::chrono::steady_clock;
+    const auto interval =
+        args.serve.qps > 0
+            ? std::chrono::nanoseconds(1'000'000'000ull / args.serve.qps)
+            : std::chrono::nanoseconds(0);
+    auto next = clock::now();
+    size_t i = 0;
+    while (!ingest_done.load(std::memory_order_acquire)) {
+      const Result<serve::QueryResult> answer =
+          service.Lookup({queries[i % queries.size()]});
+      ++i;
+      if (answer.ok()) {
+        queries_answered.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        query_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (interval.count() > 0) {
+        next += interval;
+        std::this_thread::sleep_until(next);
+      }
+    }
+  });
 
-bool ReadArrivalMeta(const std::string& dir, uint64_t* seed,
-                     uint32_t* chunk) {
-  std::ifstream in(ArrivalMetaPath(dir));
-  std::string key;
-  unsigned long long value = 0;
-  if (!(in >> key >> value) || key != "arrival_seed") return false;
-  *seed = value;
-  if (!(in >> key >> value) || key != "stream_chunk") return false;
-  *chunk = static_cast<uint32_t>(value);
-  return true;
+  Timer timer;
+  const size_t chunk = args.stream.chunk == 0 ? 1 : args.stream.chunk;
+  size_t num_chunks = 0;
+  for (size_t start = 0; start < refs.size(); start += chunk) {
+    const size_t end = std::min(refs.size(), start + chunk);
+    const Status added =
+        service.IngestBatch({refs.begin() + start, refs.begin() + end});
+    if (!added.ok()) {
+      std::fprintf(stderr, "ingest failed at insert %zu: %s\n", start,
+                   added.ToString().c_str());
+      break;
+    }
+    ++num_chunks;
+  }
+  const double ingest_seconds = timer.ElapsedSeconds();
+  ingest_done.store(true, std::memory_order_release);
+  reader.join();
+
+  std::printf(
+      "served %llu queries (%llu errors) concurrently with %zu refs "
+      "ingested in %zu chunks (%.2fs); final epoch %llu\n",
+      static_cast<unsigned long long>(queries_answered.load()),
+      static_cast<unsigned long long>(query_errors.load()), refs.size(),
+      num_chunks, ingest_seconds,
+      static_cast<unsigned long long>(service.epoch()));
+
+  // One final query pass at the converged epoch: every answer now reads
+  // the same fixpoint a batch rebuild would produce.
+  size_t matched_queries = 0;
+  for (data::EntityId q : queries) {
+    const Result<serve::QueryResult> answer = service.Lookup({q});
+    if (answer.ok() && answer->cluster.size() > 1) ++matched_queries;
+  }
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  const auto hist = snap.histograms.find("serve_query_us");
+  if (hist != snap.histograms.end()) {
+    std::printf(
+        "query latency: p50 %.1fus p95 %.1fus p99 %.1fus over %llu lookups; "
+        "%zu of %zu queries matched into a cluster at the final epoch\n",
+        hist->second.p50, hist->second.p95, hist->second.p99,
+        static_cast<unsigned long long>(hist->second.count), matched_queries,
+        queries.size());
+  }
+  return streaming.matches();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args;
-  if (!ParseArgs(argc, argv, &args)) return 2;
+  std::vector<std::string> raw_args(argv + 1, argv + argc);
+  Result<serve::DedupToolOptions> parsed =
+      serve::ParseDedupToolArgs(raw_args);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\nusage: dedup_tool [flags]\n%s",
+                 parsed.status().ToString().c_str(),
+                 serve::DedupToolUsage().c_str());
+    return 2;
+  }
+  serve::DedupToolOptions args = std::move(parsed).value();
+  if (args.serve.serve) args.stream.stream = true;
 
   // --trace-json opts into span recording (otherwise spans cost two clock
   // reads and a relaxed load each — cheap enough to leave compiled in).
-  if (!args.trace_json.empty()) {
+  if (!args.obs.trace_json.empty()) {
     obs::TraceRecorder::Global().SetEnabled(true);
   }
 
@@ -254,7 +226,7 @@ int main(int argc, char** argv) {
   // process-wide shared one (CEM_THREADS). Flows through candidate
   // generation, cover construction and the grid run.
   std::optional<ExecutionContext> owned_context;
-  if (args.threads > 0) owned_context.emplace(args.threads);
+  if (args.pipeline.threads > 0) owned_context.emplace(args.pipeline.threads);
   const ExecutionContext& ctx =
       owned_context ? *owned_context : ExecutionContext::Default();
   std::printf("execution: %u worker threads, %u LSH shards\n",
@@ -262,134 +234,148 @@ int main(int argc, char** argv) {
 
   // --- load or generate the corpus.
   std::unique_ptr<data::Dataset> dataset;
-  if (!args.input.empty()) {
-    auto loaded = data::LoadDatasetTsv(args.input);
+  if (!args.corpus.input.empty()) {
+    auto loaded = data::LoadDatasetTsv(args.corpus.input);
     if (!loaded.ok()) {
-      std::fprintf(stderr, "failed to load %s: %s\n", args.input.c_str(),
+      std::fprintf(stderr, "failed to load %s: %s\n",
+                   args.corpus.input.c_str(),
                    loaded.status().ToString().c_str());
       return 1;
     }
     dataset = std::move(*loaded);
     dataset->BuildCandidatePairs({}, ctx);
   } else {
-    const data::BibConfig config = args.generate == "hepth"
-                                       ? data::BibConfig::HepthLike(args.scale)
-                                       : data::BibConfig::DblpLike(args.scale);
+    const data::BibConfig config =
+        args.corpus.generate == "hepth"
+            ? data::BibConfig::HepthLike(args.corpus.scale)
+            : data::BibConfig::DblpLike(args.corpus.scale);
     dataset = data::GenerateBibDataset(config, {}, ctx);
     std::printf("generated %s-like corpus at scale %.2f\n",
-                args.generate.c_str(), args.scale);
+                args.corpus.generate.c_str(), args.corpus.scale);
   }
   std::printf("%zu author references, %zu candidate pairs\n",
               dataset->author_refs().size(), dataset->num_candidate_pairs());
 
   // --- cover and matcher.
-  const auto strategy = core::ParseBlockingStrategy(args.blocking);
+  const auto strategy = core::ParseBlockingStrategy(args.pipeline.blocking);
   if (!strategy.has_value()) {
     std::fprintf(stderr, "unknown blocking '%s' (canopy|lsh)\n",
-                 args.blocking.c_str());
+                 args.pipeline.blocking.c_str());
     return 2;
   }
   const core::Cover cover =
       blocking::MakeCoverBuilder(*strategy)->Build(*dataset, ctx);
-  std::printf("cover (%s blocking): %s\n", args.blocking.c_str(),
+  std::printf("cover (%s blocking): %s\n", args.pipeline.blocking.c_str(),
               cover.Summary(*dataset).c_str());
 
   std::unique_ptr<core::Matcher> matcher;
-  if (args.matcher == "mln") {
+  if (args.pipeline.matcher == "mln") {
     matcher = std::make_unique<mln::MlnMatcher>(*dataset);
-  } else if (args.matcher == "rules") {
+  } else if (args.pipeline.matcher == "rules") {
     matcher = std::make_unique<rules::RulesMatcher>(*dataset);
   } else {
     std::fprintf(stderr, "unknown matcher '%s' (mln|rules)\n",
-                 args.matcher.c_str());
+                 args.pipeline.matcher.c_str());
     return 2;
   }
 
   // --- run.
   Timer timer;
   core::MatchSet matches;
-  if (args.stream) {
-    if (args.scheme != "smp" || args.machines > 1) {
+  if (args.serve.serve) {
+    if (!args.persist.snapshot_dir.empty()) {
+      std::printf("note: --serve does not persist; --snapshot-dir ignored\n");
+    }
+    matches = RunServe(*matcher, args, ctx);
+    const core::MatchSet batch = core::RunSmp(*matcher, cover).matches;
+    std::printf("equivalent to batch SMP rebuild: %s (%zu vs %zu matches)\n",
+                matches == batch ? "yes" : "NO", matches.size(),
+                batch.size());
+  } else if (args.stream.stream) {
+    if (args.pipeline.scheme != "smp" || args.pipeline.machines > 1) {
       std::printf(
           "note: --stream drains with SMP semantics in-process; "
           "--scheme/--machines are ignored\n");
     }
     stream::StreamingOptions options;
     options.context = &ctx;
-    if (!args.metrics_json.empty()) {
+    if (!args.obs.metrics_json.empty()) {
       // Periodic operational snapshot: refresh the stream gauges and
       // rewrite the metrics file every ~1k inserts so a long ingest is
       // observable while it runs, not only at exit.
       options.metrics_every_inserts = 1024;
       options.metrics_hook = [&args](const stream::StreamingMatcher&) {
-        const Status written = obs::WriteMetricsJson(args.metrics_json);
+        const Status written =
+            obs::WriteMetricsJson(args.obs.metrics_json);
         if (!written.ok()) {
-          std::fprintf(stderr, "warning: %s\n",
-                       written.ToString().c_str());
+          std::fprintf(stderr, "warning: %s\n", written.ToString().c_str());
         }
       };
     }
     size_t num_refs = 0;
     size_t num_chunks = 0;
     stream::StreamingStats s;
-    if (!args.snapshot_dir.empty()) {
+    if (!args.persist.snapshot_dir.empty()) {
       // Durable ingest: WAL-ahead chunks plus periodic snapshots. The
       // arrival order is the same seeded shuffle ReplayStreaming uses, so
       // a recovered run continues the exact stream a crashed one fed —
       // guaranteed by reconciling the persisted arrival sidecar first.
-      if (args.recover) {
-        uint64_t saved_seed = 0;
-        uint32_t saved_chunk = 0;
-        if (ReadArrivalMeta(args.snapshot_dir, &saved_seed, &saved_chunk)) {
-          if (args.arrival_seed_set && args.arrival_seed != saved_seed) {
-            std::fprintf(stderr,
-                         "--arrival-seed %llu conflicts with the recorded "
-                         "seed %llu in %s/arrival.meta; the recovered state "
-                         "was fed from that shuffle\n",
-                         static_cast<unsigned long long>(args.arrival_seed),
-                         static_cast<unsigned long long>(saved_seed),
-                         args.snapshot_dir.c_str());
+      const std::string& dir = args.persist.snapshot_dir;
+      if (args.persist.recover) {
+        const Result<persist::ArrivalMeta> saved =
+            persist::ReadArrivalMeta(dir);
+        if (saved.ok()) {
+          if (args.stream.arrival_seed_set &&
+              args.stream.arrival_seed != saved->arrival_seed) {
+            std::fprintf(
+                stderr,
+                "--arrival-seed %llu conflicts with the recorded seed %llu "
+                "in %s/arrival.meta; the recovered state was fed from that "
+                "shuffle\n",
+                static_cast<unsigned long long>(args.stream.arrival_seed),
+                static_cast<unsigned long long>(saved->arrival_seed),
+                dir.c_str());
             return 2;
           }
-          if (args.stream_chunk_set && args.stream_chunk != saved_chunk) {
+          if (args.stream.chunk_set &&
+              args.stream.chunk != saved->stream_chunk) {
             std::fprintf(stderr,
                          "--stream-chunk %u conflicts with the recorded "
                          "chunk size %u in %s/arrival.meta\n",
-                         args.stream_chunk, saved_chunk,
-                         args.snapshot_dir.c_str());
+                         args.stream.chunk, saved->stream_chunk,
+                         dir.c_str());
             return 2;
           }
-          args.arrival_seed = saved_seed;
-          args.stream_chunk = saved_chunk;
+          args.stream.arrival_seed = saved->arrival_seed;
+          args.stream.chunk = saved->stream_chunk;
         } else {
           std::fprintf(stderr,
-                       "warning: %s/arrival.meta missing; trusting "
-                       "--arrival-seed %llu / --stream-chunk %u to match "
-                       "the crashed run\n",
-                       args.snapshot_dir.c_str(),
-                       static_cast<unsigned long long>(args.arrival_seed),
-                       args.stream_chunk);
+                       "warning: %s (%s); trusting --arrival-seed %llu / "
+                       "--stream-chunk %u to match the crashed run\n",
+                       saved.status().ToString().c_str(), dir.c_str(),
+                       static_cast<unsigned long long>(
+                           args.stream.arrival_seed),
+                       args.stream.chunk);
         }
       }
       std::vector<data::EntityId> refs = dataset->author_refs();
-      Rng rng(args.arrival_seed);
+      Rng rng(args.stream.arrival_seed);
       rng.Shuffle(refs);
       persist::PersistentStreamingMatcher persistent(
           *matcher, options,
-          {args.snapshot_dir, args.snapshot_every, nullptr, args.fsync});
-      if (args.recover) {
+          {dir, args.persist.snapshot_every, nullptr, args.persist.fsync});
+      if (args.persist.recover) {
         persist::RecoveryInfo info;
         const Status recovered = persistent.Recover(&info);
         if (!recovered.ok()) {
-          std::fprintf(stderr, "recovery from %s failed: %s\n",
-                       args.snapshot_dir.c_str(),
+          std::fprintf(stderr, "recovery from %s failed: %s\n", dir.c_str(),
                        recovered.ToString().c_str());
           return 1;
         }
         std::printf(
             "recovered %zu inserts from %s (%s at %zu inserts, %zu WAL "
             "chunks replayed, %zu snapshot(s) skipped%s)\n",
-            info.inserts_recovered, args.snapshot_dir.c_str(),
+            info.inserts_recovered, dir.c_str(),
             info.used_snapshot ? "snapshot" : "no snapshot",
             info.snapshot_inserts, info.chunks_replayed,
             info.snapshots_skipped,
@@ -401,15 +387,14 @@ int main(int argc, char** argv) {
                        started.ToString().c_str());
           return 1;
         }
-        if (!WriteArrivalMeta(args.snapshot_dir, args.arrival_seed,
-                              args.stream_chunk)) {
-          std::fprintf(stderr, "cannot write %s/arrival.meta\n",
-                       args.snapshot_dir.c_str());
+        const Status wrote = persist::WriteArrivalMeta(
+            dir, {args.stream.arrival_seed, args.stream.chunk});
+        if (!wrote.ok()) {
+          std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
           return 1;
         }
       }
-      const size_t chunk =
-          args.stream_chunk == 0 ? 1 : args.stream_chunk;
+      const size_t chunk = args.stream.chunk == 0 ? 1 : args.stream.chunk;
       for (size_t start = persistent.num_live(); start < refs.size();
            start += chunk) {
         const size_t end = std::min(refs.size(), start + chunk);
@@ -426,8 +411,9 @@ int main(int argc, char** argv) {
       s = persistent.matcher().stats();
       num_refs = refs.size();
     } else {
-      const eval::StreamingReplayResult replay = eval::ReplayStreaming(
-          *matcher, args.arrival_seed, args.stream_chunk, options);
+      const eval::StreamingReplayResult replay =
+          eval::ReplayStreaming(*matcher, args.stream.arrival_seed,
+                                args.stream.chunk, options);
       matches = replay.matches;
       s = replay.stats;
       num_refs = replay.num_refs;
@@ -436,8 +422,8 @@ int main(int argc, char** argv) {
     std::printf(
         "streamed %zu refs in %zu chunks (chunk %u, arrival seed %llu) "
         "in %.2fs\n",
-        num_refs, num_chunks, args.stream_chunk,
-        static_cast<unsigned long long>(args.arrival_seed),
+        num_refs, num_chunks, args.stream.chunk,
+        static_cast<unsigned long long>(args.stream.arrival_seed),
         timer.ElapsedSeconds());
     if (s.ingest.inserts > 0) {
       std::printf(
@@ -457,19 +443,19 @@ int main(int argc, char** argv) {
     std::printf("equivalent to batch SMP rebuild: %s (%zu vs %zu matches)\n",
                 matches == batch ? "yes" : "NO", matches.size(),
                 batch.size());
-  } else if (args.machines > 1) {
+  } else if (args.pipeline.machines > 1) {
     core::GridOptions options;
-    options.num_machines = args.machines;
+    options.num_machines = args.pipeline.machines;
     options.context = &ctx;  // Reuse the blocking front-end's pool.
-    options.scheme = args.scheme == "nomp"  ? core::MpScheme::kNoMp
-                     : args.scheme == "smp" ? core::MpScheme::kSmp
-                                            : core::MpScheme::kMmp;
+    options.scheme = args.pipeline.scheme == "nomp"  ? core::MpScheme::kNoMp
+                     : args.pipeline.scheme == "smp" ? core::MpScheme::kSmp
+                                                     : core::MpScheme::kMmp;
     matches = core::RunGrid(*matcher, cover, options).matches;
-  } else if (args.scheme == "nomp") {
+  } else if (args.pipeline.scheme == "nomp") {
     matches = core::RunNoMp(*matcher, cover).matches;
-  } else if (args.scheme == "smp") {
+  } else if (args.pipeline.scheme == "smp") {
     matches = core::RunSmp(*matcher, cover).matches;
-  } else if (args.scheme == "mmp") {
+  } else if (args.pipeline.scheme == "mmp") {
     auto* probabilistic =
         dynamic_cast<core::ProbabilisticMatcher*>(matcher.get());
     if (probabilistic == nullptr) {
@@ -481,7 +467,7 @@ int main(int argc, char** argv) {
     matches = core::RunMmp(*probabilistic, cover).matches;
   } else {
     std::fprintf(stderr, "unknown scheme '%s' (nomp|smp|mmp)\n",
-                 args.scheme.c_str());
+                 args.pipeline.scheme.c_str());
     return 2;
   }
   const core::MatchSet clusters = core::TransitiveClosure(matches);
@@ -511,22 +497,22 @@ int main(int argc, char** argv) {
 
   // --- observability exports (final state; the stream hook may have
   // written interim metrics snapshots already).
-  if (!args.metrics_json.empty()) {
-    const Status written = obs::WriteMetricsJson(args.metrics_json);
+  if (!args.obs.metrics_json.empty()) {
+    const Status written = obs::WriteMetricsJson(args.obs.metrics_json);
     if (!written.ok()) {
       std::fprintf(stderr, "%s\n", written.ToString().c_str());
       return 1;
     }
-    std::printf("metrics: %s\n", args.metrics_json.c_str());
+    std::printf("metrics: %s\n", args.obs.metrics_json.c_str());
   }
-  if (!args.trace_json.empty()) {
+  if (!args.obs.trace_json.empty()) {
     const Status written =
-        obs::TraceRecorder::Global().WriteJson(args.trace_json);
+        obs::TraceRecorder::Global().WriteJson(args.obs.trace_json);
     if (!written.ok()) {
       std::fprintf(stderr, "%s\n", written.ToString().c_str());
       return 1;
     }
-    std::printf("trace: %s\n", args.trace_json.c_str());
+    std::printf("trace: %s\n", args.obs.trace_json.c_str());
   }
   return 0;
 }

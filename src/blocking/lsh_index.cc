@@ -172,6 +172,24 @@ std::vector<uint32_t> LshIndex::Candidates(uint32_t doc_id) const {
   return out;
 }
 
+std::vector<uint32_t> LshIndex::CandidatesOfSignature(
+    const std::vector<uint64_t>& signature) const {
+  CEM_CHECK(signature.size() >= num_hashes_)
+      << "signature too short for this index";
+  std::vector<uint64_t> keys(params_.bands);
+  BandKeysInto(signature.data(), keys.data());
+  std::vector<uint32_t> out;
+  for (uint64_t key : keys) {
+    const Shard& shard = shards_[ShardOf(key)];
+    const auto it = shard.buckets.find(key);
+    if (it == shard.buckets.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 size_t LshIndex::num_buckets() const {
   size_t total = 0;
   for (const Shard& shard : shards_) total += shard.buckets.size();

@@ -73,6 +73,16 @@ class LshIndex {
   /// concurrent Candidates() calls (read-only).
   std::vector<uint32_t> Candidates(uint32_t doc_id) const;
 
+  /// Documents sharing at least one band bucket with `signature` (which
+  /// need not belong to any indexed document), sorted by doc id,
+  /// deduplicated. The point-query probe of the serving layer: purely
+  /// read-only, so any number of concurrent probes is safe as long as no
+  /// AddDocument runs. If the signature's document IS indexed, its own id
+  /// appears in the result — callers filter. Deterministic for any shard
+  /// count, like Candidates().
+  std::vector<uint32_t> CandidatesOfSignature(
+      const std::vector<uint64_t>& signature) const;
+
   /// Sum over buckets of C(size, 2): the candidate pairs the banding pass
   /// generates, counted with multiplicity — the blocking-work metric the
   /// ablation compares against full postings scans.

@@ -88,4 +88,25 @@ MatchSet TransitiveClosure(const MatchSet& matches) {
   return out;
 }
 
+std::vector<data::EntityId> ClusterOf(const data::Dataset& dataset,
+                                      const MatchSet& matches,
+                                      data::EntityId ref) {
+  std::vector<data::EntityId> cluster = {ref};
+  std::unordered_set<data::EntityId> seen = {ref};
+  // BFS over matched candidate pairs. Every match the pipeline produces is
+  // a candidate pair (the MLN only grounds candidates), so the dataset's
+  // pair adjacency is a complete edge list for the match graph.
+  for (size_t head = 0; head < cluster.size(); ++head) {
+    const data::EntityId e = cluster[head];
+    for (data::PairId pid : dataset.PairsOfEntity(e)) {
+      const data::EntityPair p = dataset.candidate_pair(pid).pair;
+      if (!matches.Contains(p)) continue;
+      const data::EntityId other = p.a == e ? p.b : p.a;
+      if (seen.insert(other).second) cluster.push_back(other);
+    }
+  }
+  std::sort(cluster.begin(), cluster.end());
+  return cluster;
+}
+
 }  // namespace cem::core

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "data/dataset.h"
 #include "data/entity.h"
 
 namespace cem::core {
@@ -64,6 +65,18 @@ class MatchSet {
 /// within each connected component. Appendix A: the transitive closure of a
 /// monotone matcher is monotone, so this is a valid post-pass.
 MatchSet TransitiveClosure(const MatchSet& matches);
+
+/// The cluster of `ref` under `matches`: every entity reachable from `ref`
+/// through matched candidate pairs (BFS over the dataset's candidate-pair
+/// adjacency restricted to `matches`), sorted, `ref` included. Equals the
+/// connected component TransitiveClosure(matches) would place `ref` in,
+/// computed in O(cluster size × pairs per entity) instead of
+/// O(|matches|) — the point-query read path of the serving layer. Purely
+/// const: safe to call concurrently with other reads, never with
+/// MatchSet::Insert.
+std::vector<data::EntityId> ClusterOf(const data::Dataset& dataset,
+                                      const MatchSet& matches,
+                                      data::EntityId ref);
 
 }  // namespace cem::core
 

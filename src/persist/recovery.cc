@@ -1,6 +1,7 @@
 #include "persist/recovery.h"
 
 #include <filesystem>
+#include <fstream>
 #include <utility>
 
 #include "util/logging.h"
@@ -14,7 +15,39 @@ std::string WalPath(const std::string& dir) {
   return (fs::path(dir) / "wal.log").string();
 }
 
+std::string ArrivalMetaPath(const std::string& dir) {
+  return (fs::path(dir) / "arrival.meta").string();
+}
+
 }  // namespace
+
+Status WriteArrivalMeta(const std::string& dir, const ArrivalMeta& meta) {
+  std::ofstream out(ArrivalMetaPath(dir), std::ios::trunc);
+  out << "arrival_seed\t" << meta.arrival_seed << "\nstream_chunk\t"
+      << meta.stream_chunk << "\n";
+  if (!out) {
+    return InternalError("cannot write " + ArrivalMetaPath(dir));
+  }
+  return OkStatus();
+}
+
+Result<ArrivalMeta> ReadArrivalMeta(const std::string& dir) {
+  const std::string path = ArrivalMetaPath(dir);
+  std::ifstream in(path);
+  if (!in) return NotFoundError(path + " does not exist");
+  ArrivalMeta meta;
+  std::string key;
+  unsigned long long value = 0;
+  if (!(in >> key >> value) || key != "arrival_seed") {
+    return InvalidArgumentError(path + " is malformed (arrival_seed)");
+  }
+  meta.arrival_seed = value;
+  if (!(in >> key >> value) || key != "stream_chunk") {
+    return InvalidArgumentError(path + " is malformed (stream_chunk)");
+  }
+  meta.stream_chunk = static_cast<uint32_t>(value);
+  return meta;
+}
 
 PersistentStreamingMatcher::PersistentStreamingMatcher(
     const core::Matcher& matcher, const stream::StreamingOptions& stream_options,

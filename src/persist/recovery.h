@@ -37,6 +37,30 @@ struct PersistOptions {
   bool fsync = false;
 };
 
+/// The arrival sidecar (arrival.meta): the replay parameters of the tool
+/// that fed a persisted stream. The StateFingerprint binds a state
+/// directory to the dataset and cover options but not to the feeder's
+/// arrival shuffle — recovering with a different seed would pass the
+/// fingerprint check and then silently feed references from a different
+/// permutation. The seed (and the chunk size, which fixes the replayed
+/// drain boundaries) therefore persist next to the WAL and are reconciled
+/// on recovery.
+struct ArrivalMeta {
+  /// Seed of the seeded random arrival order.
+  uint64_t arrival_seed = 0;
+  /// References per AddBatch chunk.
+  uint32_t stream_chunk = 0;
+
+  friend bool operator==(const ArrivalMeta&, const ArrivalMeta&) = default;
+};
+
+/// Writes `meta` as `dir`/arrival.meta (overwriting).
+Status WriteArrivalMeta(const std::string& dir, const ArrivalMeta& meta);
+
+/// Reads `dir`/arrival.meta. NotFound when the sidecar does not exist;
+/// InvalidArgument when it exists but does not parse.
+Result<ArrivalMeta> ReadArrivalMeta(const std::string& dir);
+
 /// What Recover() found and did.
 struct RecoveryInfo {
   /// Live references after recovery (snapshot + replayed WAL tail).

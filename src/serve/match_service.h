@@ -1,0 +1,169 @@
+#ifndef CEM_SERVE_MATCH_SERVICE_H_
+#define CEM_SERVE_MATCH_SERVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <shared_mutex>
+#include <vector>
+
+#include "data/entity.h"
+#include "stream/streaming_matcher.h"
+#include "util/status.h"
+
+namespace cem::serve {
+
+/// A point query against the live match state: "who does this author
+/// reference match, right now?". The reference must exist in the dataset
+/// (the corpus is the universe of queryable records); it does NOT have to
+/// be live — querying a not-yet-ingested reference is the "new record
+/// preview" path, answered by re-scoring it against the published state
+/// without mutating anything.
+struct Query {
+  data::EntityId ref = 0;
+  /// Per-query cap on returned candidates (0 = ServeOptions::max_candidates).
+  size_t max_candidates = 0;
+};
+
+/// One scored candidate of a query.
+struct CandidateScore {
+  /// The candidate reference (live at the answering epoch).
+  data::EntityId ref = 0;
+  /// MinHash-estimated Jaccard similarity of the blocking-token sets —
+  /// the same estimate the cover builder thresholds on, so scores are
+  /// comparable to the loose/tight knobs.
+  double jaccard = 0.0;
+  /// True if the published match state (or, for a cold query, the one-shot
+  /// re-score) declares {query, candidate} a match.
+  bool matched = false;
+
+  friend bool operator==(const CandidateScore&,
+                         const CandidateScore&) = default;
+};
+
+/// The answer to one Query. Everything except `latency_us` is a
+/// deterministic function of (dataset, options, arrival prefix, query) —
+/// bit-identical across thread and shard counts, which is what lets the
+/// serving tests pin results against a batch rebuild.
+struct QueryResult {
+  /// Echo of the queried reference.
+  data::EntityId ref = 0;
+  /// The published epoch this answer is consistent with: the number of
+  /// live references visible to the query. Monotone; a reader observing
+  /// epoch E sees exactly the converged state after the E-th insert.
+  uint64_t epoch = 0;
+  /// True if the queried reference itself was live at `epoch`.
+  bool live = false;
+  /// LSH candidates, scored; sorted by descending jaccard, ties by
+  /// ascending id; capped at max_candidates.
+  std::vector<CandidateScore> candidates;
+  /// The query's cluster: the connected component of the match graph the
+  /// reference belongs to (sorted, the reference included). A cold query
+  /// joins the cluster of its best matched candidate; an unmatched query's
+  /// cluster is just itself.
+  std::vector<data::EntityId> cluster;
+  /// Confidence of the match decision: the highest jaccard among matched
+  /// candidates (0 when the query matched nothing).
+  double confidence = 0.0;
+  /// Service-side wall time of this lookup, microseconds. Informational —
+  /// the one nondeterministic field.
+  uint64_t latency_us = 0;
+};
+
+/// Options of a MatchService.
+struct ServeOptions {
+  /// Default cap on candidates per answer (Query::max_candidates overrides).
+  size_t max_candidates = 64;
+  /// Re-score cold (not-yet-live) query references with the wrapped
+  /// matcher: one Match() call over the query plus its candidates'
+  /// neighborhoods. Off = cold queries return jaccard scores only
+  /// (matched stays false).
+  bool score_cold_queries = true;
+};
+
+/// The serving layer: wraps a live stream::StreamingMatcher and answers
+/// point queries concurrently with ingest.
+///
+/// Concurrency model — read-mostly epochs over a shared/exclusive lock:
+/// ingest (Ingest/IngestBatch) takes the lock exclusively, streams the
+/// references, drains to convergence, and *publishes* the new epoch (the
+/// live-reference count) before releasing; queries take the lock shared
+/// and read the published state. Readers therefore never observe a
+/// half-patched cover or a mid-drain match set — every answer is
+/// consistent with exactly one quiescent prefix of the arrival order, and
+/// any number of queries run in parallel with each other (the underlying
+/// probe/score/cluster path is purely const). Writers never starve
+/// readers for long: one ingest chunk is one critical section, and the
+/// amortized per-insert work is small (the PR 5 claim). Nor do readers
+/// starve writers: glibc's shared_mutex prefers readers, so a steady
+/// stream of lookups could otherwise bar ingest indefinitely — an
+/// ingest-waiting gate makes new readers stand aside until a pending
+/// exclusive acquisition goes through (ingest priority, bounded by one
+/// in-flight lookup's critical section).
+///
+/// Error handling: Status/Result<T> returns, never exceptions and never
+/// CHECK-aborts on bad input — the public-surface convention (README
+/// "Error handling").
+class MatchService {
+ public:
+  /// `matcher` must outlive the service. The service takes over mutation:
+  /// while a MatchService wraps a matcher, ALL ingest must go through
+  /// Ingest/IngestBatch (calling matcher.Add() directly would bypass the
+  /// lock and the epoch publication).
+  explicit MatchService(stream::StreamingMatcher& matcher,
+                        const ServeOptions& options = {});
+
+  MatchService(const MatchService&) = delete;
+  MatchService& operator=(const MatchService&) = delete;
+
+  /// Ingests one reference (exclusive; drains to convergence, publishes
+  /// the next epoch). InvalidArgument if `ref` is out of range or not an
+  /// author reference; FailedPrecondition if it is already live.
+  Status Ingest(data::EntityId ref);
+
+  /// Ingests a chunk under one exclusive section — one drain, one epoch
+  /// publication, same final state as per-element Ingest. Rejects the
+  /// whole batch (no partial ingest) on any invalid or duplicate
+  /// reference.
+  Status IngestBatch(const std::vector<data::EntityId>& refs);
+
+  /// Answers a point query against the published epoch (shared; runs
+  /// concurrently with other Lookups, blocks only while an ingest chunk
+  /// holds the lock). InvalidArgument if the reference is out of range or
+  /// not an author reference.
+  Result<QueryResult> Lookup(const Query& query) const;
+
+  /// The last published epoch (= live references visible to queries).
+  /// Lock-free; monotone. A Lookup's answer always carries the epoch it
+  /// actually read, which is >= any value observed here beforehand.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  const ServeOptions& options() const { return options_; }
+
+  /// The wrapped matcher. Const access only — and only safe to *read*
+  /// between ingest calls on the caller's own thread (tests, tooling);
+  /// concurrent readers must go through Lookup().
+  const stream::StreamingMatcher& streaming_matcher() const {
+    return matcher_;
+  }
+
+ private:
+  /// Lookup body; runs with the shared lock held.
+  QueryResult LookupLocked(const Query& query) const;
+
+  stream::StreamingMatcher& matcher_;
+  ServeOptions options_;
+  /// Shared/exclusive lock over the matcher's entire mutable state.
+  mutable std::shared_mutex mu_;
+  /// Number of ingest sections waiting for (not yet holding) `mu_`.
+  /// Lookup() spins politely while this is non-zero, giving ingest
+  /// acquisition priority over glibc's reader-preferenced rwlock.
+  mutable std::atomic<uint32_t> ingest_waiting_{0};
+  /// Published epoch: matcher_.num_live() as of the last completed ingest
+  /// section (release-stored under the exclusive lock).
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace cem::serve
+
+#endif  // CEM_SERVE_MATCH_SERVICE_H_

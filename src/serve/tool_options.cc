@@ -1,0 +1,159 @@
+#include "serve/tool_options.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cover_builder.h"
+#include "eval/experiment.h"
+
+namespace cem::serve {
+namespace {
+
+/// Shortest round-trippable rendering of a double flag value.
+std::string FormatDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void AppendFlag(std::vector<std::string>& args, const char* flag,
+                const std::string& value) {
+  args.emplace_back(flag);
+  args.push_back(value);
+}
+
+}  // namespace
+
+DedupToolOptions DefaultDedupToolOptions() {
+  DedupToolOptions options;
+  options.pipeline.blocking =
+      core::BlockingStrategyName(eval::BenchBlocking());
+  const char* env = std::getenv("CEM_SNAPSHOT_DIR");
+  options.persist.snapshot_dir = env == nullptr ? "" : env;
+  return options;
+}
+
+void RegisterDedupToolFlags(FlagSet& flags, DedupToolOptions* options) {
+  flags.String("--input", &options->corpus.input,
+               "TSV corpus path (empty: use --generate)");
+  flags.String("--generate", &options->corpus.generate,
+               "generated workload: hepth|dblp");
+  flags.Double("--scale", &options->corpus.scale,
+               "generated workload scale factor");
+  flags.String("--output", &options->output,
+               "matched-pairs TSV output path");
+  flags.String("--matcher", &options->pipeline.matcher, "mln|rules");
+  flags.String("--scheme", &options->pipeline.scheme, "nomp|smp|mmp");
+  flags.String("--blocking", &options->pipeline.blocking, "canopy|lsh");
+  flags.Uint32("--machines", &options->pipeline.machines,
+               "simulated grid machines");
+  flags.Uint32("--threads", &options->pipeline.threads,
+               "worker threads (0: process default)");
+  flags.Bool("--stream", &options->stream.stream,
+             "streaming ingest replay instead of the batch pipeline");
+  flags.Uint32("--stream-chunk", &options->stream.chunk,
+               "references per AddBatch chunk (0: one at a time)",
+               &options->stream.chunk_set);
+  flags.Uint64("--arrival-seed", &options->stream.arrival_seed,
+               "seed of the random arrival order",
+               &options->stream.arrival_seed_set);
+  flags.String("--snapshot-dir", &options->persist.snapshot_dir,
+               "durable state directory (empty: no persistence)");
+  flags.SizeT("--snapshot-every", &options->persist.snapshot_every,
+              "auto-snapshot interval in inserts (0: WAL only)");
+  flags.Bool("--recover", &options->persist.recover,
+             "resume from --snapshot-dir state");
+  flags.Bool("--fsync", &options->persist.fsync,
+             "fsync WAL appends and snapshot files");
+  flags.Bool("--serve", &options->serve.serve,
+             "serve point queries concurrently with streamed ingest");
+  flags.String("--query-file", &options->serve.query_file,
+               "query reference ids, one per line (empty: sample corpus)");
+  flags.Uint32("--qps", &options->serve.qps,
+               "target query rate (0: unthrottled)");
+  flags.String("--metrics-json", &options->obs.metrics_json,
+               "write the metrics registry as flat JSON here at exit");
+  flags.String("--trace-json", &options->obs.trace_json,
+               "enable tracing; write a Chrome trace_event array here");
+}
+
+std::vector<std::string> DedupToolOptions::ToArgs() const {
+  const DedupToolOptions defaults = DefaultDedupToolOptions();
+  std::vector<std::string> args;
+  if (corpus.input != defaults.corpus.input) {
+    AppendFlag(args, "--input", corpus.input);
+  }
+  if (corpus.generate != defaults.corpus.generate) {
+    AppendFlag(args, "--generate", corpus.generate);
+  }
+  if (corpus.scale != defaults.corpus.scale) {
+    AppendFlag(args, "--scale", FormatDouble(corpus.scale));
+  }
+  if (output != defaults.output) AppendFlag(args, "--output", output);
+  if (pipeline.matcher != defaults.pipeline.matcher) {
+    AppendFlag(args, "--matcher", pipeline.matcher);
+  }
+  if (pipeline.scheme != defaults.pipeline.scheme) {
+    AppendFlag(args, "--scheme", pipeline.scheme);
+  }
+  if (pipeline.blocking != defaults.pipeline.blocking) {
+    AppendFlag(args, "--blocking", pipeline.blocking);
+  }
+  if (pipeline.machines != defaults.pipeline.machines) {
+    AppendFlag(args, "--machines", std::to_string(pipeline.machines));
+  }
+  if (pipeline.threads != defaults.pipeline.threads) {
+    AppendFlag(args, "--threads", std::to_string(pipeline.threads));
+  }
+  if (stream.stream) args.emplace_back("--stream");
+  // The *_set-tracked flags re-emit whenever explicitly set, even at the
+  // default value: "explicitly 64" and "defaulted 64" behave differently
+  // on --recover reconciliation, so the round trip must preserve it.
+  if (stream.chunk_set) {
+    AppendFlag(args, "--stream-chunk", std::to_string(stream.chunk));
+  }
+  if (stream.arrival_seed_set) {
+    AppendFlag(args, "--arrival-seed", std::to_string(stream.arrival_seed));
+  }
+  if (persist.snapshot_dir != defaults.persist.snapshot_dir) {
+    AppendFlag(args, "--snapshot-dir", persist.snapshot_dir);
+  }
+  if (persist.snapshot_every != defaults.persist.snapshot_every) {
+    AppendFlag(args, "--snapshot-every",
+               std::to_string(persist.snapshot_every));
+  }
+  if (persist.recover) args.emplace_back("--recover");
+  if (persist.fsync) args.emplace_back("--fsync");
+  if (serve.serve) args.emplace_back("--serve");
+  if (serve.query_file != defaults.serve.query_file) {
+    AppendFlag(args, "--query-file", serve.query_file);
+  }
+  if (serve.qps != defaults.serve.qps) {
+    AppendFlag(args, "--qps", std::to_string(serve.qps));
+  }
+  if (obs.metrics_json != defaults.obs.metrics_json) {
+    AppendFlag(args, "--metrics-json", obs.metrics_json);
+  }
+  if (obs.trace_json != defaults.obs.trace_json) {
+    AppendFlag(args, "--trace-json", obs.trace_json);
+  }
+  return args;
+}
+
+Result<DedupToolOptions> ParseDedupToolArgs(
+    const std::vector<std::string>& args) {
+  DedupToolOptions options = DefaultDedupToolOptions();
+  FlagSet flags;
+  RegisterDedupToolFlags(flags, &options);
+  CEM_RETURN_IF_ERROR(flags.Parse(args));
+  return options;
+}
+
+std::string DedupToolUsage() {
+  DedupToolOptions options = DefaultDedupToolOptions();
+  FlagSet flags;
+  RegisterDedupToolFlags(flags, &options);
+  return flags.Usage();
+}
+
+}  // namespace cem::serve

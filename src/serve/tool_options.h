@@ -1,0 +1,145 @@
+#ifndef CEM_SERVE_TOOL_OPTIONS_H_
+#define CEM_SERVE_TOOL_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/status.h"
+
+namespace cem::serve {
+
+// The consolidated option surface of examples/dedup_tool.cpp — every flag
+// the tool accepts, grouped by the subsystem it configures and parsed in
+// exactly one place (ParseDedupToolArgs). The structs default to the same
+// values the loose flags used to, including the environment-derived ones
+// (CEM_BLOCKING, CEM_SNAPSHOT_DIR), and ToArgs() round-trips: for any
+// options value o, parsing o.ToArgs() reproduces o exactly (pinned by
+// tests/flags_test.cc).
+
+/// Where the corpus comes from: a TSV file, or a generated workload.
+struct CorpusOptions {
+  /// TSV corpus path (see data/tsv_io.h); empty = generate instead.
+  std::string input;
+  /// Generated workload family: "hepth" or "dblp".
+  std::string generate = "dblp";
+  /// Generated workload scale factor.
+  double scale = 0.5;
+
+  friend bool operator==(const CorpusOptions&, const CorpusOptions&) = default;
+};
+
+/// The batch pipeline: matcher, message-passing scheme, blocking, grid.
+struct PipelineOptions {
+  /// "mln" or "rules".
+  std::string matcher = "mln";
+  /// "nomp", "smp" or "mmp".
+  std::string scheme = "mmp";
+  /// "canopy" or "lsh"; defaults from CEM_BLOCKING like the benches.
+  std::string blocking;
+  /// Simulated grid machines (1 = in-process).
+  uint32_t machines = 1;
+  /// Worker threads (0 = process default: CEM_THREADS or hardware).
+  uint32_t threads = 0;
+
+  friend bool operator==(const PipelineOptions&,
+                         const PipelineOptions&) = default;
+};
+
+/// Streaming-ingest replay.
+struct StreamToolOptions {
+  /// Replay through stream::StreamingMatcher instead of the batch run.
+  bool stream = false;
+  /// References per AddBatch chunk (0 = one at a time).
+  uint32_t chunk = 64;
+  bool chunk_set = false;  ///< Explicit flag vs default (recovery checks).
+  /// Seed of the random arrival order.
+  uint64_t arrival_seed = 1;
+  bool arrival_seed_set = false;  ///< Explicit flag vs default.
+
+  friend bool operator==(const StreamToolOptions&,
+                         const StreamToolOptions&) = default;
+};
+
+/// Durable streaming state (persist/).
+struct PersistToolOptions {
+  /// State directory (empty = no persistence); defaults from
+  /// CEM_SNAPSHOT_DIR so deployments can set it globally.
+  std::string snapshot_dir;
+  /// Auto-snapshot interval in inserts (0 = WAL only).
+  size_t snapshot_every = 4096;
+  /// Resume from snapshot_dir state instead of starting fresh.
+  bool recover = false;
+  /// fsync WAL appends and snapshot files (survive power loss).
+  bool fsync = false;
+
+  friend bool operator==(const PersistToolOptions&,
+                         const PersistToolOptions&) = default;
+};
+
+/// The serving layer (serve::MatchService driven concurrently with
+/// streamed ingest).
+struct ServeToolOptions {
+  /// Stand up a MatchService over the streamed state and issue point
+  /// queries from a reader thread while ingest proceeds. Implies --stream.
+  bool serve = false;
+  /// File of query reference ids, one per line (empty = query a
+  /// deterministic sample of the corpus references).
+  std::string query_file;
+  /// Target query rate, queries/second (0 = unthrottled).
+  uint32_t qps = 0;
+
+  friend bool operator==(const ServeToolOptions&,
+                         const ServeToolOptions&) = default;
+};
+
+/// Observability exports.
+struct ObsToolOptions {
+  /// Write the metrics registry as flat JSON here at exit (empty = off).
+  std::string metrics_json;
+  /// Enable tracing; write a Chrome trace_event array here (empty = off).
+  std::string trace_json;
+
+  friend bool operator==(const ObsToolOptions&, const ObsToolOptions&) = default;
+};
+
+/// Everything dedup_tool accepts, in one value.
+struct DedupToolOptions {
+  CorpusOptions corpus;
+  PipelineOptions pipeline;
+  StreamToolOptions stream;
+  PersistToolOptions persist;
+  ServeToolOptions serve;
+  ObsToolOptions obs;
+  /// Matched-pairs TSV output path (empty = don't write).
+  std::string output;
+
+  /// The flag list reproducing this value: parsing ToArgs() yields an
+  /// equal options value. Fields at their defaults are omitted (except
+  /// the *_set-tracked ones, emitted whenever explicitly set).
+  std::vector<std::string> ToArgs() const;
+
+  friend bool operator==(const DedupToolOptions&,
+                         const DedupToolOptions&) = default;
+};
+
+/// Constructs the defaults, environment lookups included.
+DedupToolOptions DefaultDedupToolOptions();
+
+/// Binds every dedup_tool flag onto `options` (which must outlive the
+/// FlagSet). Exposed separately so tests can probe individual bindings.
+void RegisterDedupToolFlags(FlagSet& flags, DedupToolOptions* options);
+
+/// The one parsing entry point: args are argv[1..]. InvalidArgument on
+/// unknown flags, missing values or unparseable numbers.
+Result<DedupToolOptions> ParseDedupToolArgs(
+    const std::vector<std::string>& args);
+
+/// Usage text (flag per line, with help).
+std::string DedupToolUsage();
+
+}  // namespace cem::serve
+
+#endif  // CEM_SERVE_TOOL_OPTIONS_H_

@@ -126,6 +126,16 @@ class IncrementalCover {
   /// Number of live references (== the LSH index's document count).
   size_t num_live() const { return index_.size(); }
 
+  /// Arrival slot of a live reference, or IncrementalCover::kNoSeed if
+  /// `ref` has not been inserted. The serving layer maps LSH candidate
+  /// slots back to entity ids with slots(); this is the inverse direction
+  /// (live query ref -> its own slot, so its self-collision can be
+  /// filtered from the probe result).
+  uint32_t SlotOf(data::EntityId ref) const {
+    const auto it = slot_of_.find(ref);
+    return it == slot_of_.end() ? kNoSeed : it->second;
+  }
+
   /// The maintained cover. Neighborhood ids are stable: neighborhoods only
   /// ever grow, none is ever removed.
   const core::Cover& cover() const { return cover_; }

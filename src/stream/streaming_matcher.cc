@@ -75,6 +75,10 @@ void StreamingMatcher::RecordInsert(size_t canopies_touched) {
 }
 
 void StreamingMatcher::MaybePublishMetrics() {
+  // The StreamingOptions::metrics_hook contract: publication (and the
+  // hook) only ever run at a quiescent point — the drain has finished, so
+  // the hook may read matches()/cover()/stats() unsynchronised.
+  CEM_DCHECK(quiescent());
   const size_t every = options_.metrics_every_inserts;
   if (every == 0 || num_live() < metrics_published_at_ + every) return;
   metrics_published_at_ = num_live();

@@ -34,8 +34,15 @@ struct StreamingOptions {
   /// matcher refreshes the process metrics registry's stream gauges
   /// (live refs, neighborhoods, matches, max neighborhood size) and
   /// invokes `metrics_hook`, if set — the operational surface a serving
-  /// layer or `dedup_tool --metrics-json` watches mid-ingest. The hook
-  /// runs at a quiescent point (after the drain), on the ingest thread.
+  /// layer or `dedup_tool --metrics-json` watches mid-ingest.
+  ///
+  /// Threading contract (enforced by a CEM_DCHECK in the publisher): the
+  /// hook runs ON THE INGEST THREAD, and ONLY at quiescent points — after
+  /// the convergence drain, never mid-patch — so it may read matches(),
+  /// cover() and stats() without synchronisation. It must NOT be used to
+  /// hand the matcher to other threads: concurrent readers go through
+  /// serve::MatchService, which only reads against published epochs (state
+  /// a quiescent ingest made visible under its exclusive lock).
   size_t metrics_every_inserts = 0;
   std::function<void(const StreamingMatcher&)> metrics_hook;
 };
@@ -134,6 +141,11 @@ class StreamingMatcher {
 
   /// The matcher's dataset (the corpus references stream out of).
   const data::Dataset& dataset() const { return matcher_.dataset(); }
+
+  /// The wrapped black-box matcher. Const Match() calls are thread-safe
+  /// (the grid executor already scores concurrently), which is what lets
+  /// serve::MatchService re-score cold query records on reader threads.
+  const core::Matcher& core_matcher() const { return matcher_; }
 
   const StreamingOptions& options() const { return options_; }
 

@@ -1,0 +1,153 @@
+#include "util/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace cem {
+namespace {
+
+/// Strict full-token unsigned parse (no sign, no trailing junk).
+bool ParseUnsigned(const std::string& value, uint64_t* out) {
+  if (value.empty() || value[0] == '-' || value[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) return false;
+  *out = parsed;
+  return true;
+}
+
+bool ParseDouble(const std::string& value, double* out) {
+  if (value.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end != value.c_str() + value.size()) return false;
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+void FlagSet::Add(Flag flag) {
+  CEM_CHECK(flag.name.rfind("--", 0) == 0) << "flag names start with --";
+  CEM_CHECK(Find(flag.name) == nullptr) << "duplicate flag " << flag.name;
+  flags_.push_back(std::move(flag));
+}
+
+void FlagSet::Bool(std::string name, bool* target, std::string help) {
+  Add({std::move(name), /*takes_value=*/false,
+       [target](const std::string&) {
+         *target = true;
+         return true;
+       },
+       nullptr, std::move(help)});
+}
+
+void FlagSet::String(std::string name, std::string* target, std::string help) {
+  Add({std::move(name), /*takes_value=*/true,
+       [target](const std::string& value) {
+         *target = value;
+         return true;
+       },
+       nullptr, std::move(help)});
+}
+
+void FlagSet::Double(std::string name, double* target, std::string help) {
+  Add({std::move(name), /*takes_value=*/true,
+       [target](const std::string& value) {
+         return ParseDouble(value, target);
+       },
+       nullptr, std::move(help)});
+}
+
+void FlagSet::Uint32(std::string name, uint32_t* target, std::string help,
+                     bool* set_marker) {
+  Add({std::move(name), /*takes_value=*/true,
+       [target](const std::string& value) {
+         uint64_t parsed = 0;
+         if (!ParseUnsigned(value, &parsed) || parsed > 0xffffffffull) {
+           return false;
+         }
+         *target = static_cast<uint32_t>(parsed);
+         return true;
+       },
+       set_marker, std::move(help)});
+}
+
+void FlagSet::Uint64(std::string name, uint64_t* target, std::string help,
+                     bool* set_marker) {
+  Add({std::move(name), /*takes_value=*/true,
+       [target](const std::string& value) {
+         return ParseUnsigned(value, target);
+       },
+       set_marker, std::move(help)});
+}
+
+void FlagSet::SizeT(std::string name, size_t* target, std::string help) {
+  Add({std::move(name), /*takes_value=*/true,
+       [target](const std::string& value) {
+         uint64_t parsed = 0;
+         if (!ParseUnsigned(value, &parsed)) return false;
+         *target = static_cast<size_t>(parsed);
+         return true;
+       },
+       nullptr, std::move(help)});
+}
+
+const FlagSet::Flag* FlagSet::Find(std::string_view name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+Status FlagSet::Parse(const std::vector<std::string>& args) const {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    std::string name = arg;
+    std::string value;
+    bool has_inline_value = false;
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_inline_value = true;
+    }
+    const Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return InvalidArgumentError("unknown flag " + arg);
+    }
+    if (!flag->takes_value) {
+      if (has_inline_value) {
+        return InvalidArgumentError(flag->name + " takes no value");
+      }
+    } else if (!has_inline_value) {
+      if (i + 1 >= args.size()) {
+        return InvalidArgumentError("missing value for " + flag->name);
+      }
+      value = args[++i];
+    }
+    if (!flag->assign(value)) {
+      return InvalidArgumentError("bad value '" + value + "' for " +
+                                  flag->name);
+    }
+    if (flag->set_marker != nullptr) *flag->set_marker = true;
+  }
+  return OkStatus();
+}
+
+std::string FlagSet::Usage() const {
+  std::string out;
+  for (const Flag& flag : flags_) {
+    out += "  " + flag.name;
+    if (flag.takes_value) out += " <value>";
+    out += "\n      " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace cem

@@ -1,0 +1,65 @@
+#ifndef CEM_UTIL_FLAGS_H_
+#define CEM_UTIL_FLAGS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cem {
+
+/// Declarative command-line flag registry: each binding ties one
+/// `--flag` to a caller-owned target, and one Parse() pass walks the
+/// argument list. Both `--flag value` and `--flag=value` forms are
+/// accepted for value flags; boolean flags are presence-only. Unknown
+/// flags, missing values and unparseable numbers come back as
+/// InvalidArgument (with the offending token in the message) instead of
+/// half-applied state — the tools turn that into usage + exit 2.
+///
+/// The optional `set_marker` of a binding records whether the flag
+/// appeared explicitly, for flags whose default is "inherit from
+/// persisted state" rather than a literal (e.g. --arrival-seed on
+/// --recover).
+class FlagSet {
+ public:
+  void Bool(std::string name, bool* target, std::string help);
+  void String(std::string name, std::string* target, std::string help);
+  void Double(std::string name, double* target, std::string help);
+  void Uint32(std::string name, uint32_t* target, std::string help,
+              bool* set_marker = nullptr);
+  void Uint64(std::string name, uint64_t* target, std::string help,
+              bool* set_marker = nullptr);
+  void SizeT(std::string name, size_t* target, std::string help);
+
+  /// Parses `args` (argv[1..] — no program name) onto the bound targets.
+  /// On error some targets may already hold parsed values; callers treat
+  /// any non-OK status as "print usage and exit".
+  Status Parse(const std::vector<std::string>& args) const;
+
+  /// One line per flag: name, value kind, help text.
+  std::string Usage() const;
+
+ private:
+  struct Flag {
+    std::string name;  ///< Including the leading "--".
+    bool takes_value;
+    /// Assigns a raw value string; false = unparseable. Bool flags ignore
+    /// the argument.
+    std::function<bool(const std::string&)> assign;
+    bool* set_marker;
+    std::string help;
+  };
+
+  void Add(Flag flag);
+  const Flag* Find(std::string_view name) const;
+
+  std::vector<Flag> flags_;
+};
+
+}  // namespace cem
+
+#endif  // CEM_UTIL_FLAGS_H_

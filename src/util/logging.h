@@ -81,4 +81,23 @@ struct LogMessageVoidify {
     CEM_CHECK(cem_check_ok_tmp__.ok()) << cem_check_ok_tmp__.ToString(); \
   } while (false)
 
+/// Debug-only CHECK: active in debug builds and whenever
+/// CEM_ENABLE_DCHECKS is defined (the sanitizer CI builds define it, so
+/// ASAN/TSAN runs enforce these even at -O2). Release builds compile the
+/// condition out entirely — use it for asserts too hot or too concurrent
+/// for the release path, like the quiescent-point contracts of the
+/// streaming/serving layers.
+#if !defined(NDEBUG) || defined(CEM_ENABLE_DCHECKS)
+#define CEM_DCHECK(condition) CEM_CHECK(condition)
+#else
+// `true || (condition)` short-circuits (never evaluated at runtime) but
+// still compiles the condition, so release builds get no unused-variable
+// warnings for values only a DCHECK reads.
+#define CEM_DCHECK(condition)                                     \
+  (true || (condition))                                           \
+      ? (void)0                                                   \
+      : ::cem::internal_logging::LogMessageVoidify() &            \
+            CEM_LOG(Fatal) << "Check failed: " #condition << " "
+#endif
+
 #endif  // CEM_UTIL_LOGGING_H_

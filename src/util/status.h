@@ -131,4 +131,23 @@ void Result<T>::AbortIfError() const {
     }                                               \
   } while (false)
 
+#define CEM_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define CEM_STATUS_MACROS_CONCAT_(x, y) \
+  CEM_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+/// Unwraps a `cem::Result<T>` expression into `lhs` (a declaration or an
+/// existing variable), propagating the error status on failure:
+///
+///   CEM_ASSIGN_OR_RETURN(const ArrivalMeta meta, ReadArrivalMeta(dir));
+#define CEM_ASSIGN_OR_RETURN(lhs, expr)                              \
+  CEM_ASSIGN_OR_RETURN_IMPL_(                                        \
+      CEM_STATUS_MACROS_CONCAT_(cem_result_macro_tmp__, __LINE__), lhs, expr)
+
+#define CEM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+
 #endif  // CEM_UTIL_STATUS_H_
