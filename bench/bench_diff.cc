@@ -41,6 +41,13 @@
 //     Valid when the file is one well-formed JSON array (the Chrome
 //     trace_event format `dedup_tool --trace-json` emits).
 //
+//   bench_diff --check-prometheus <metrics.txt>
+//     Valid when the file is Prometheus text exposition (what the stats
+//     endpoint's /metrics serves): every line blank, a well-formed
+//     `# HELP`/`# TYPE` comment, or one `name[{labels}] value` sample with
+//     a legal metric name and a parseable value; at least one TYPE line
+//     and one sample present.
+//
 // Exit codes: 0 = within budget/valid, 1 = regression,
 // 2 = usage/io/format/schema error.
 
@@ -242,6 +249,106 @@ int CheckTrace(const char* path) {
   return 0;
 }
 
+namespace {
+
+/// Prometheus metric-name charset: [a-zA-Z_:][a-zA-Z0-9_:]*.
+bool IsPrometheusName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+/// Sample values may be decimals or the spec's non-finite spellings.
+bool IsPrometheusValue(const std::string& raw) {
+  if (raw == "NaN" || raw == "+Inf" || raw == "-Inf") return true;
+  char* end = nullptr;
+  std::strtod(raw.c_str(), &end);
+  return end != raw.c_str() && *end == '\0';
+}
+
+}  // namespace
+
+/// --check-prometheus: line-level validation of text exposition 0.0.4.
+int CheckPrometheus(const char* path) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 2;
+  }
+  size_t samples = 0;
+  size_t types = 0;
+  size_t line_no = 0;
+  std::istringstream in(text);
+  std::string line;
+  const auto fail = [&](const char* what) {
+    std::fprintf(stderr, "check-prometheus: %s:%zu: %s: %s\n", path, line_no,
+                 what, line.c_str());
+    return 2;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only `# HELP <name> ...` and `# TYPE <name> <type>` are structured;
+      // any other comment passes unexamined (the spec allows them).
+      std::istringstream fields(line);
+      std::string hash, keyword, name, type;
+      fields >> hash >> keyword >> name;
+      if (keyword == "HELP") {
+        if (!IsPrometheusName(name)) return fail("bad HELP metric name");
+      } else if (keyword == "TYPE") {
+        fields >> type;
+        if (!IsPrometheusName(name)) return fail("bad TYPE metric name");
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail("unknown metric type");
+        }
+        ++types;
+      }
+      continue;
+    }
+    // A sample: `name value` or `name{labels} value`. Labels are skipped
+    // structurally (balanced braces would need a parser; the name and the
+    // value are what generated exporters get wrong).
+    const size_t brace = line.find('{');
+    const size_t space = line.find(' ');
+    const size_t name_end = std::min(brace, space);
+    if (name_end == std::string::npos) return fail("sample has no value");
+    if (!IsPrometheusName(line.substr(0, name_end))) {
+      return fail("bad sample metric name");
+    }
+    size_t value_start = space;
+    if (brace != std::string::npos && brace < space) {
+      const size_t close = line.find('}', brace);
+      if (close == std::string::npos) return fail("unterminated label set");
+      value_start = line.find(' ', close);
+    }
+    if (value_start == std::string::npos) return fail("sample has no value");
+    const size_t value_pos = line.find_first_not_of(' ', value_start);
+    if (value_pos == std::string::npos) return fail("sample has no value");
+    // The value is one token; an optional timestamp may trail it.
+    const std::string value =
+        line.substr(value_pos, line.find(' ', value_pos) - value_pos);
+    if (!IsPrometheusValue(value)) return fail("unparseable sample value");
+    ++samples;
+  }
+  if (types == 0 || samples == 0) {
+    std::fprintf(stderr,
+                 "check-prometheus: %s has %zu TYPE lines and %zu samples "
+                 "(need at least one of each)\n",
+                 path, types, samples);
+    return 2;
+  }
+  std::printf("check-prometheus: %s ok (%zu samples, %zu TYPE lines)\n", path,
+              samples, types);
+  return 0;
+}
+
 int main(int argc, char** argv) {
   double max_slowdown = 0.15;
   double gate_wall = -1.0;  // Negative: wall times stay informational.
@@ -255,6 +362,8 @@ int main(int argc, char** argv) {
       return CheckMetrics(argv[++i]);
     } else if (!std::strcmp(argv[i], "--check-trace") && i + 1 < argc) {
       return CheckTrace(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--check-prometheus") && i + 1 < argc) {
+      return CheckPrometheus(argv[++i]);
     } else {
       files.push_back(argv[i]);
     }
@@ -264,7 +373,8 @@ int main(int argc, char** argv) {
                  "usage: bench_diff <baseline.json> <current.json> "
                  "[--max-slowdown 0.15] [--gate-wall <fraction>]\n"
                  "       bench_diff --check-metrics <metrics.json>\n"
-                 "       bench_diff --check-trace <trace.json>\n");
+                 "       bench_diff --check-trace <trace.json>\n"
+                 "       bench_diff --check-prometheus <metrics.txt>\n");
     return 2;
   }
 

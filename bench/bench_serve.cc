@@ -204,6 +204,27 @@ int main() {
                      TableWriter::Num(qps, 0), std::to_string(p50),
                      std::to_string(p95), std::to_string(p99)});
   report.Table("concurrent", concurrent);
+
+  // Request-level observability view of the same run (informational, like
+  // everything concurrent): the service's own rolling window and slow-query
+  // log, as a live scrape of /metrics would see them.
+  service.PublishWindowGauges();
+  TableWriter window_table({"window (s)", "lookups", "qps", "error rate",
+                            "p50 (us)", "p99 (us)"});
+  for (const uint64_t window_s : {10ull, 60ull}) {
+    const obs::WindowStats ws = service.rolling_window().Over(window_s);
+    window_table.AddRow(
+        {std::to_string(window_s), std::to_string(ws.count),
+         TableWriter::Num(ws.qps, 0), TableWriter::Num(ws.error_rate, 3),
+         TableWriter::Num(ws.p50, 1), TableWriter::Num(ws.p99, 1)});
+  }
+  report.Table("rolling window", window_table);
+  const uint64_t slow_count = service.slow_query_log().slow_count();
+  std::printf(
+      "rolling-window view: %" PRIu64 " queries over %.0fus landed in the "
+      "slow-query log (threshold-crossing traces retained worst-first).\n",
+      slow_count, service.slow_query_log().threshold_us());
+
   const bool meets_target = qps >= 10000.0 && p50 < 1000;
   std::printf(
       "%zu lookups answered while the whole corpus streamed in (%" PRIu64
@@ -223,6 +244,9 @@ int main() {
   report.Metric("all_prefixes_equal_batch", all_equal ? 1.0 : 0.0);
   report.Metric("serve_concurrent_qps", qps);
   report.Metric("serve_concurrent_p50_us", static_cast<double>(p50));
+  report.Metric("serve_window10s_p99_us",
+                service.rolling_window().Over(10).p99);
+  report.Metric("serve_slow_query_count", static_cast<double>(slow_count));
   report.Write();
   return all_equal && lookup_errors.load() == 0 ? 0 : 1;
 }

@@ -168,6 +168,58 @@ mkdir -p "${OBS_DIR}"
 "${BUILD_DIR}/bench_diff" --check-metrics "${OBS_DIR}/metrics.json"
 "${BUILD_DIR}/bench_diff" --check-trace "${OBS_DIR}/trace.json"
 
+echo "== live stats endpoint (dedup_tool --serve --stats-port)"
+# Boot a served ingest with the stats listener on an ephemeral port,
+# scrape every endpoint over loopback (bash /dev/tcp — no curl
+# dependency), and schema-check the scrapes: /metrics must be valid
+# Prometheus text exposition, /metrics.json the same flat-JSON schema as
+# the file export, /healthz healthy. The ready file is the handshake:
+# the tool publishes its port there and stays alive until we delete it,
+# so the scrapes never race the run's natural exit; the tool's own clean
+# exit afterwards proves the server shut down in an orderly way.
+STATS_READY="${OBS_DIR}/stats.port"
+"${BUILD_DIR}/dedup_tool" --generate dblp --scale 0.05 --stream --serve \
+  --qps 2000 --stats-port 0 --stats-ready-file "${STATS_READY}" \
+  --slow-query-log "${OBS_DIR}/slowlog.json" --slow-query-us 0 \
+  > "${OBS_DIR}/serve.log" &
+TOOL_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "${STATS_READY}" ]] && break
+  sleep 0.1
+done
+[[ -s "${STATS_READY}" ]] || {
+  echo "error: stats server never published its port" >&2
+  kill "${TOOL_PID}" 2> /dev/null || true
+  exit 1
+}
+STATS_PORT="$(cat "${STATS_READY}")"
+scrape() { # scrape <path> <outfile>: body of one HTTP/1.0 GET
+  exec 9<> "/dev/tcp/127.0.0.1/${STATS_PORT}"
+  printf 'GET %s HTTP/1.0\r\n\r\n' "$1" >&9
+  sed -e '1,/^\r$/d' <&9 > "$2"
+  exec 9>&-
+}
+scrape /metrics "${OBS_DIR}/scrape.prom"
+scrape /metrics.json "${OBS_DIR}/scrape.json"
+scrape /slowlog.json "${OBS_DIR}/scrape_slowlog.json"
+scrape /healthz "${OBS_DIR}/scrape_healthz.txt"
+"${BUILD_DIR}/bench_diff" --check-prometheus "${OBS_DIR}/scrape.prom"
+"${BUILD_DIR}/bench_diff" --check-metrics "${OBS_DIR}/scrape.json"
+grep -q '^ok$' "${OBS_DIR}/scrape_healthz.txt" || {
+  echo "error: /healthz scrape was not healthy:" >&2
+  cat "${OBS_DIR}/scrape_healthz.txt" >&2
+  kill "${TOOL_PID}" 2> /dev/null || true
+  exit 1
+}
+rm -f "${STATS_READY}"  # Release the handshake; the tool may now exit.
+wait "${TOOL_PID}"
+# The served run's slow-query log (threshold 0: every query) must be a
+# JSON array with at least one traced query.
+grep -q '"query_id"' "${OBS_DIR}/slowlog.json" || {
+  echo "error: --slow-query-log produced no traced queries" >&2
+  exit 1
+}
+
 if [[ "${CEM_CI_SKIP_ASAN:-0}" != "1" ]]; then
   echo "== ASAN configure (${ASAN_BUILD_DIR})"
   cmake -B "${ASAN_BUILD_DIR}" -S "${REPO_ROOT}" \

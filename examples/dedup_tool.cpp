@@ -9,6 +9,9 @@
 //              [--snapshot-dir DIR] [--snapshot-every N] [--recover]
 //              [--fsync] [--serve] [--query-file PATH] [--qps N]
 //              [--metrics-json PATH] [--trace-json PATH]
+//              [--stats-port N] [--stats-ready-file PATH]
+//              [--slow-query-log PATH] [--slow-query-us T]
+//              [--stall-deadline-ms MS]
 //
 // Every flag accepts both `--flag value` and `--flag=value`; the full
 // surface lives in one place, serve::DedupToolOptions
@@ -51,14 +54,26 @@
 // flat JSON object at exit, and refreshes it periodically during --stream
 // ingest so an operator can watch a long run converge. --trace-json
 // enables scoped-span tracing and writes a Chrome trace_event array
-// (load it in chrome://tracing or Perfetto).
+// (load it in chrome://tracing or Perfetto). --stats-port serves the
+// registry LIVE over loopback HTTP for the whole run — /metrics
+// (Prometheus text), /metrics.json, /slowlog.json and /healthz; 0 binds
+// an ephemeral port, written to --stats-ready-file so scripts can find
+// it (the tool then lingers at exit until that file is deleted, so a
+// scraping script never races the shutdown). Under --serve the endpoint
+// additionally reads the serving layer:
+// rolling-window gauges refresh per scrape, /slowlog.json carries the
+// worst queries over --slow-query-us (also written to --slow-query-log at
+// exit), and /healthz turns 503 when ingest stalls past
+// --stall-deadline-ms against pending work.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -75,9 +90,11 @@
 #include "mln/mln_matcher.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "persist/recovery.h"
 #include "rules/rules_matcher.h"
 #include "serve/match_service.h"
+#include "serve/stats_server.h"
 #include "serve/tool_options.h"
 #include "stream/streaming_matcher.h"
 #include "util/random.h"
@@ -86,6 +103,37 @@
 namespace {
 
 using namespace cem;
+
+/// What the stats endpoint reads while --serve runs. The service and
+/// watchdog live on RunServe's stack but the StatsServer outlives them
+/// (it spans the whole process), so the pointers are published under a
+/// mutex and cleared before RunServe returns — a scrape between runs sees
+/// registry metrics, an empty slow log and a healthy verdict.
+struct LiveServeState {
+  std::mutex mu;
+  const serve::MatchService* service = nullptr;
+  const obs::IngestWatchdog* watchdog = nullptr;
+};
+
+/// Stats-endpoint sources over `state` (each call re-reads the pointers,
+/// so they work before, during and after the serve run).
+serve::StatsSources SourcesOf(LiveServeState& state) {
+  serve::StatsSources sources;
+  sources.refresh = [&state] {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.service != nullptr) state.service->PublishWindowGauges();
+  };
+  sources.slowlog_json = [&state] {
+    std::lock_guard<std::mutex> lock(state.mu);
+    return state.service != nullptr ? state.service->slow_query_log().ToJson()
+                                    : std::string("[]\n");
+  };
+  sources.healthy = [&state] {
+    std::lock_guard<std::mutex> lock(state.mu);
+    return state.watchdog == nullptr || !state.watchdog->stalled();
+  };
+  return sources;
+}
 
 /// The query workload of --serve: ids from --query-file, or a
 /// deterministic sample of the corpus references (every k-th id, capped
@@ -111,11 +159,39 @@ std::vector<data::EntityId> LoadQueries(const serve::ServeToolOptions& opts,
 /// same live state. Returns the converged match set.
 core::MatchSet RunServe(const core::Matcher& matcher,
                         const serve::DedupToolOptions& args,
-                        const ExecutionContext& ctx) {
+                        const ExecutionContext& ctx,
+                        LiveServeState& live) {
   stream::StreamingOptions stream_options;
   stream_options.context = &ctx;
   stream::StreamingMatcher streaming(matcher, stream_options);
-  serve::MatchService service(streaming);
+  serve::ServeOptions serve_options;
+  serve_options.slow_query_us = args.obs.slow_query_us;
+  serve::MatchService service(streaming, serve_options);
+  // Ingest-stall watchdog: drains advance per ingest chunk, so a frozen
+  // drain count against a non-empty pending hint past the deadline flags
+  // the run as stalled (/healthz 503). Declared after the matcher it
+  // samples, so its monitor thread joins first on unwind.
+  obs::IngestWatchdog watchdog(
+      {std::chrono::milliseconds(args.obs.stall_deadline_ms),
+       std::chrono::milliseconds(50)});
+  watchdog.Start([&streaming] { return streaming.drains_completed(); },
+                 [&streaming] {
+                   return static_cast<uint64_t>(streaming.pending_hint());
+                 });
+  {
+    std::lock_guard<std::mutex> lock(live.mu);
+    live.service = &service;
+    live.watchdog = &watchdog;
+  }
+  // Unpublish before the service leaves scope, whatever exit path runs.
+  struct Unpublish {
+    LiveServeState& live;
+    ~Unpublish() {
+      std::lock_guard<std::mutex> lock(live.mu);
+      live.service = nullptr;
+      live.watchdog = nullptr;
+    }
+  } unpublish{live};
 
   const data::Dataset& dataset = matcher.dataset();
   std::vector<data::EntityId> refs = dataset.author_refs();
@@ -159,6 +235,7 @@ core::MatchSet RunServe(const core::Matcher& matcher,
   const size_t chunk = args.stream.chunk == 0 ? 1 : args.stream.chunk;
   size_t num_chunks = 0;
   for (size_t start = 0; start < refs.size(); start += chunk) {
+    streaming.set_pending_hint(refs.size() - start);
     const size_t end = std::min(refs.size(), start + chunk);
     const Status added =
         service.IngestBatch({refs.begin() + start, refs.begin() + end});
@@ -169,6 +246,7 @@ core::MatchSet RunServe(const core::Matcher& matcher,
     }
     ++num_chunks;
   }
+  streaming.set_pending_hint(0);
   const double ingest_seconds = timer.ElapsedSeconds();
   ingest_done.store(true, std::memory_order_release);
   reader.join();
@@ -198,6 +276,25 @@ core::MatchSet RunServe(const core::Matcher& matcher,
         static_cast<unsigned long long>(hist->second.count), matched_queries,
         queries.size());
   }
+  service.PublishWindowGauges();
+  const obs::WindowStats window = service.rolling_window().Over(10);
+  std::printf(
+      "rolling 10s window: %.0f qps, %.2f%% errors, p99 %.1fus; "
+      "%llu slow queries over %.0fus (%llu ingest stall events)\n",
+      window.qps, window.error_rate * 100.0, window.p99,
+      static_cast<unsigned long long>(service.slow_query_log().slow_count()),
+      service.slow_query_log().threshold_us(),
+      static_cast<unsigned long long>(watchdog.stall_events()));
+  if (!args.obs.slow_query_log.empty()) {
+    std::ofstream out(args.obs.slow_query_log, std::ios::trunc);
+    if (out) out << service.slow_query_log().ToJson();
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   args.obs.slow_query_log.c_str());
+    } else {
+      std::printf("slow-query log: %s\n", args.obs.slow_query_log.c_str());
+    }
+  }
   return streaming.matches();
 }
 
@@ -220,6 +317,34 @@ int main(int argc, char** argv) {
   // reads and a relaxed load each — cheap enough to leave compiled in).
   if (!args.obs.trace_json.empty()) {
     obs::TraceRecorder::Global().SetEnabled(true);
+  }
+
+  // --stats-port: stand the live stats endpoint up for the whole run
+  // (/metrics, /metrics.json, /slowlog.json, /healthz on loopback). The
+  // serve-layer sources flow through LiveServeState, published only while
+  // RunServe is on the stack.
+  LiveServeState live_serve;
+  std::unique_ptr<serve::StatsServer> stats_server;
+  if (args.obs.stats_port_set) {
+    Result<std::unique_ptr<serve::StatsServer>> started =
+        serve::StatsServer::Start(static_cast<uint16_t>(args.obs.stats_port),
+                                  SourcesOf(live_serve));
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
+      return 1;
+    }
+    stats_server = std::move(*started);
+    std::printf("stats: http://127.0.0.1:%u/metrics\n", stats_server->port());
+    if (!args.obs.stats_ready_file.empty()) {
+      std::ofstream ready(args.obs.stats_ready_file, std::ios::trunc);
+      ready << stats_server->port() << '\n';
+      ready.flush();
+      if (!ready) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     args.obs.stats_ready_file.c_str());
+        return 1;
+      }
+    }
   }
 
   // --- execution context: --threads gets a dedicated pool, otherwise the
@@ -286,7 +411,7 @@ int main(int argc, char** argv) {
     if (!args.persist.snapshot_dir.empty()) {
       std::printf("note: --serve does not persist; --snapshot-dir ignored\n");
     }
-    matches = RunServe(*matcher, args, ctx);
+    matches = RunServe(*matcher, args, ctx, live_serve);
     const core::MatchSet batch = core::RunSmp(*matcher, cover).matches;
     std::printf("equivalent to batch SMP rebuild: %s (%zu vs %zu matches)\n",
                 matches == batch ? "yes" : "NO", matches.size(),
@@ -513,6 +638,21 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("trace: %s\n", args.obs.trace_json.c_str());
+  }
+
+  // --stats-ready-file doubles as a scrape handshake: the port file was
+  // written at startup for the orchestrating script; now that every
+  // export above reflects final state, keep the stats endpoint alive
+  // until the script deletes the file (bounded so an orphaned run still
+  // exits). This gives CI a race-free scrape: poll the file for the
+  // port, read the endpoints, remove the file, wait for the tool.
+  if (stats_server != nullptr && !args.obs.stats_ready_file.empty()) {
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (std::filesystem::exists(args.obs.stats_ready_file) &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
   }
   return 0;
 }

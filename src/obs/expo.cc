@@ -1,0 +1,89 @@
+#include "obs/expo.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+namespace cem::obs {
+namespace {
+
+bool InPrometheusCharset(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// One sample value: Prometheus floats are Go-parseable, so non-finite
+/// values have literal spellings (unlike JSON, where the shared escaper's
+/// number helper has to zero them out).
+std::string Value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void Family(std::string& out, const std::string& name, const char* help,
+            const char* type) {
+  out += "# HELP " + name + " " + help + "\n";
+  out += "# TYPE " + name + " ";
+  out += type;
+  out += "\n";
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "cem_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    out += InPrometheusCharset(c) ? c : '_';
+  }
+  return out;
+}
+
+std::string RenderMetricsPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char buf[64];
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name) + "_total";
+    Family(out, prom, "cem registry counter", "counter");
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+    out += prom + buf;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    Family(out, prom, "cem registry gauge", "gauge");
+    out += prom + " " + Value(value) + "\n";
+  }
+  for (const auto& [name, stats] : snapshot.histograms) {
+    // Percentiles are precomputed bucket-resolution estimates, so the
+    // family renders as a summary (fixed quantiles), not a histogram
+    // (which would promise raw cumulative buckets).
+    const std::string prom = PrometheusName(name);
+    Family(out, prom, "cem registry latency summary (microseconds)",
+           "summary");
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", stats.p50}, {"0.95", stats.p95}, {"0.99", stats.p99}};
+    for (const auto& [q, v] : quantiles) {
+      out += prom + "{quantile=\"" + q + "\"} " + Value(v) + "\n";
+    }
+    out += prom + "_sum " + Value(stats.sum) + "\n";
+    std::snprintf(buf, sizeof(buf), "_count %" PRIu64 "\n", stats.count);
+    out += prom + buf;
+  }
+  return out;
+}
+
+Status WriteMetricsPrometheus(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return InternalError("cannot write metrics to " + path);
+  out << RenderMetricsPrometheus(MetricsRegistry::Global().Snapshot());
+  out.flush();
+  if (!out) return InternalError("short write to " + path);
+  return OkStatus();
+}
+
+}  // namespace cem::obs

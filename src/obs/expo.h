@@ -1,0 +1,37 @@
+#ifndef CEM_OBS_EXPO_H_
+#define CEM_OBS_EXPO_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace cem::obs {
+
+// Prometheus text exposition (format 0.0.4) over the same MetricsSnapshot
+// the JSON export reads — one snapshot, two renderings, so a scrape of
+// /metrics and of /metrics.json always describe the same instant. See
+// serve::StatsServer for the endpoint that serves this.
+
+/// Maps a registry metric name onto the Prometheus name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: prefixes "cem_" (which also guarantees a
+/// legal first character) and replaces every other out-of-charset byte
+/// with '_'. Registry names are ASCII identifiers in practice, so this is
+/// normally the identity plus the prefix.
+std::string PrometheusName(std::string_view name);
+
+/// Renders `snapshot` as Prometheus text exposition: counters as
+/// `cem_<name>_total` counter families, gauges as `cem_<name>` gauges,
+/// histograms as `cem_<name>` summaries (quantile-labeled p50/p95/p99
+/// samples plus `_sum` and `_count`), each family with one HELP and one
+/// TYPE line and one sample per line.
+std::string RenderMetricsPrometheus(const MetricsSnapshot& snapshot);
+
+/// Writes RenderMetricsPrometheus(Global().Snapshot()) to `path` — the
+/// file-export sibling of WriteMetricsJson.
+Status WriteMetricsPrometheus(const std::string& path);
+
+}  // namespace cem::obs
+
+#endif  // CEM_OBS_EXPO_H_

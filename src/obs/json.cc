@@ -1,0 +1,58 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cem::obs {
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string JsonEscaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  AppendJsonEscaped(out, s);
+  return out;
+}
+
+void AppendJsonNumber(std::string& out, double value, const char* fmt) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, std::isfinite(value) ? value : 0.0);
+  out += buf;
+}
+
+}  // namespace cem::obs

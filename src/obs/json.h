@@ -1,0 +1,32 @@
+#ifndef CEM_OBS_JSON_H_
+#define CEM_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace cem::obs {
+
+// The one JSON string escaper every obs exporter shares (metrics
+// snapshots, trace events, query traces). Exporters used to splice names
+// raw into their output, which produced unparseable documents the moment
+// a metric or span name carried a quote, backslash or control character.
+
+/// Appends `s` to `out` with JSON string escaping applied: `"` and `\`
+/// get a backslash, the two-character escapes (\n, \t, \r, \b, \f) are
+/// used where they exist, and every other control character (< 0x20)
+/// becomes a \u00XX sequence. No surrounding quotes are added.
+void AppendJsonEscaped(std::string& out, std::string_view s);
+
+/// AppendJsonEscaped into a fresh string.
+std::string JsonEscaped(std::string_view s);
+
+/// Appends a JSON-legal rendering of `value` under printf format `fmt`
+/// (one double conversion): NaN/infinity render as 0 — JSON has no
+/// non-finite literals, and a poisoned gauge must not take the whole
+/// export document down with it.
+void AppendJsonNumber(std::string& out, double value,
+                      const char* fmt = "%.6g");
+
+}  // namespace cem::obs
+
+#endif  // CEM_OBS_JSON_H_

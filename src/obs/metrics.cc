@@ -4,9 +4,9 @@
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
-#include <sstream>
 #include <utility>
 
+#include "obs/json.h"
 #include "util/logging.h"
 
 namespace cem::obs {
@@ -139,38 +139,45 @@ void Histogram::Reset() {
 // --- MetricsSnapshot --------------------------------------------------------
 
 std::string MetricsSnapshot::ToJson() const {
-  std::ostringstream out;
-  out << "{";
+  // Metric names go through the shared escaper (obs/json.h): a name
+  // carrying a quote, backslash or control character must yield an
+  // escaped key, not a truncated/unparseable document.
+  std::string out = "{";
   bool first = true;
-  const auto sep = [&] {
-    if (!first) out << ", ";
+  const auto key = [&](const char* prefix, const std::string& name,
+                       const char* suffix = "") {
+    if (!first) out += ", ";
     first = false;
+    out += '"';
+    out += prefix;
+    AppendJsonEscaped(out, name);
+    out += suffix;
+    out += "\": ";
   };
   char buf[64];
   for (const auto& [name, value] : counters) {
-    sep();
+    key("counter_", name);
     std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
-    out << "\"counter_" << name << "\": " << buf;
+    out += buf;
   }
   for (const auto& [name, value] : gauges) {
-    sep();
-    std::snprintf(buf, sizeof(buf), "%.6g", value);
-    out << "\"gauge_" << name << "\": " << buf;
+    key("gauge_", name);
+    AppendJsonNumber(out, value, "%.6g");
   }
   for (const auto& [name, stats] : histograms) {
-    sep();
+    key("hist_", name, "_count");
     std::snprintf(buf, sizeof(buf), "%" PRIu64, stats.count);
-    out << "\"hist_" << name << "_count\": " << buf;
+    out += buf;
     const std::pair<const char*, double> quantiles[] = {
-        {"sum", stats.sum}, {"p50", stats.p50}, {"p95", stats.p95},
-        {"p99", stats.p99}};
+        {"_sum", stats.sum}, {"_p50", stats.p50}, {"_p95", stats.p95},
+        {"_p99", stats.p99}};
     for (const auto& [suffix, value] : quantiles) {
-      std::snprintf(buf, sizeof(buf), "%.3f", value);
-      out << ", \"hist_" << name << "_" << suffix << "\": " << buf;
+      key("hist_", name, suffix);
+      AppendJsonNumber(out, value, "%.3f");
     }
   }
-  out << "}\n";
-  return out.str();
+  out += "}\n";
+  return out;
 }
 
 // --- MetricsRegistry --------------------------------------------------------

@@ -1,10 +1,14 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <utility>
+
+#include "obs/json.h"
 
 namespace cem::obs {
 namespace {
@@ -45,13 +49,33 @@ TraceRecorder& TraceRecorder::Global() {
 }
 
 TraceRecorder::ThreadLog& TraceRecorder::LocalLog() {
-  thread_local std::shared_ptr<ThreadLog> log = [this] {
+  // The owner's destructor runs at thread exit and flushes the buffer
+  // into the recorder's retired list — a short-lived worker thread's
+  // spans survive the thread, and logs_ does not grow by one dead entry
+  // per thread the process ever spawned. (The recorder itself is the
+  // leaked Global() singleton, so it outlives every thread.)
+  struct Owner {
+    TraceRecorder* recorder;
+    std::shared_ptr<ThreadLog> log;
+    ~Owner() { recorder->RetireLog(log); }
+  };
+  thread_local Owner owner = [this] {
     auto created = std::make_shared<ThreadLog>();
     std::lock_guard<std::mutex> lock(mu_);
     logs_.push_back(created);
-    return created;
+    return Owner{this, std::move(created)};
   }();
-  return *log;
+  return *owner.log;
+}
+
+void TraceRecorder::RetireLog(const std::shared_ptr<ThreadLog>& log) {
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    retired_.insert(retired_.end(), log->events.begin(), log->events.end());
+    log->events.clear();
+  }
+  std::erase(logs_, log);
 }
 
 void TraceRecorder::Record(const TraceEvent& event) {
@@ -61,8 +85,8 @@ void TraceRecorder::Record(const TraceEvent& event) {
 }
 
 std::vector<TraceEvent> TraceRecorder::Events() const {
-  std::vector<TraceEvent> out;
   std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out = retired_;
   for (const auto& log : logs_) {
     std::lock_guard<std::mutex> log_lock(log->mu);
     out.insert(out.end(), log->events.begin(), log->events.end());
@@ -77,13 +101,16 @@ Status TraceRecorder::WriteJson(const std::string& path) const {
   // Chrome trace_event "JSON array format": a bare array of complete
   // events; ts/dur are microseconds (fractions allowed).
   out << "[";
-  char buf[192];
+  char buf[160];
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
+    // Span names ride through the shared escaper (obs/json.h), like
+    // metric names in the JSON metrics export.
+    out << (i == 0 ? "" : ",") << "\n{\"name\": \"" << JsonEscaped(e.name)
+        << "\"";
     std::snprintf(buf, sizeof(buf),
-                  "%s\n{\"name\": \"%s\", \"cat\": \"cem\", \"ph\": \"X\", "
-                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
-                  i == 0 ? "" : ",", e.name,
+                  ", \"cat\": \"cem\", \"ph\": \"X\", \"ts\": %.3f, "
+                  "\"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
                   static_cast<double>(e.start_ns) / 1e3,
                   static_cast<double>(e.duration_ns) / 1e3, e.tid);
     out << buf;
@@ -96,6 +123,7 @@ Status TraceRecorder::WriteJson(const std::string& path) const {
 
 void TraceRecorder::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  retired_.clear();
   for (const auto& log : logs_) {
     std::lock_guard<std::mutex> log_lock(log->mu);
     log->events.clear();

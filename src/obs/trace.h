@@ -49,7 +49,8 @@ class TraceRecorder {
 
   void Record(const TraceEvent& event);
 
-  /// Completed spans so far, in per-thread append order.
+  /// Completed spans so far: spans flushed from exited threads first,
+  /// then the live threads' buffers in per-thread append order.
   std::vector<TraceEvent> Events() const;
 
   /// Writes every recorded span as a Chrome trace_event JSON array of
@@ -68,9 +69,16 @@ class TraceRecorder {
   };
   ThreadLog& LocalLog();
 
+  /// Thread-exit flush: moves the log's spans into `retired_` and drops
+  /// the registration, so short-lived worker threads neither lose their
+  /// spans nor leave a dead per-thread buffer behind in `logs_`.
+  void RetireLog(const std::shared_ptr<ThreadLog>& log);
+
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;  // Guards logs_ (registration + reads).
+  mutable std::mutex mu_;  // Guards logs_ and retired_.
   std::vector<std::shared_ptr<ThreadLog>> logs_;
+  /// Spans flushed from threads that have exited.
+  std::vector<TraceEvent> retired_;
 };
 
 /// RAII span: measures construction-to-destruction with a ScopedTimer and,

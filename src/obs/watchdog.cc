@@ -1,0 +1,77 @@
+#include "obs/watchdog.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace cem::obs {
+
+IngestWatchdog::IngestWatchdog() : IngestWatchdog(Options()) {}
+
+IngestWatchdog::IngestWatchdog(const Options& options) : options_(options) {}
+
+IngestWatchdog::~IngestWatchdog() { Stop(); }
+
+void IngestWatchdog::Start(Sample epoch, Sample queue_depth) {
+  Stop();  // At most one monitor thread.
+  epoch_fn_ = std::move(epoch);
+  depth_fn_ = std::move(queue_depth);
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void IngestWatchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool IngestWatchdog::Observe(uint64_t epoch, uint64_t queue_depth,
+                             std::chrono::steady_clock::time_point now) {
+  static Gauge& stalled_gauge =
+      MetricsRegistry::Global().gauge("serve_ingest_stalled");
+  static Counter& stall_counter =
+      MetricsRegistry::Global().counter("serve_ingest_stall_events");
+  const bool progressed =
+      !have_baseline_ || epoch != last_epoch_ || queue_depth == 0;
+  if (progressed) {
+    // Epoch moved, the queue drained, or this is the first look — all
+    // three reset the stall clock (an idle server is never stalled).
+    have_baseline_ = true;
+    last_epoch_ = epoch;
+    last_progress_ = now;
+    if (stalled_.exchange(false, std::memory_order_acq_rel)) {
+      stalled_gauge.Set(0.0);
+    }
+    return false;
+  }
+  if (now - last_progress_ >= options_.deadline) {
+    if (!stalled_.exchange(true, std::memory_order_acq_rel)) {
+      stall_events_.fetch_add(1, std::memory_order_relaxed);
+      stall_counter.Add(1);
+      stalled_gauge.Set(1.0);
+    }
+    return true;
+  }
+  return stalled();
+}
+
+void IngestWatchdog::Loop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_requested_) {
+    // The providers are lock-free reads, so sampling under the stop lock
+    // is contention-free except at the shutdown handshake itself.
+    const uint64_t epoch = epoch_fn_();
+    const uint64_t depth = depth_fn_();
+    Observe(epoch, depth, std::chrono::steady_clock::now());
+    stop_cv_.wait_for(lock, options_.poll, [this] { return stop_requested_; });
+  }
+}
+
+}  // namespace cem::obs

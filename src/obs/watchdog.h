@@ -1,0 +1,95 @@
+#ifndef CEM_OBS_WATCHDOG_H_
+#define CEM_OBS_WATCHDOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace cem::obs {
+
+/// The ingest-liveness monitor of a serving deployment: ingest has
+/// stalled when the published epoch stops advancing WHILE work is known
+/// to be pending — epoch frozen with an empty queue is idle, not stalled.
+/// A stall longer than `deadline` flips the stalled flag, bumps the
+/// `serve_ingest_stall_events` counter and sets the
+/// `serve_ingest_stalled` gauge to 1 (back to 0 on recovery);
+/// serve::StatsServer surfaces the flag on /healthz.
+///
+/// Two modes share one decision procedure (Observe):
+///  * Start() spawns a monitor thread polling the epoch / queue-depth
+///    providers every `poll` (the production mode);
+///  * calling Observe() directly with explicit observations and
+///    timestamps drives the same logic deterministically (tests).
+class IngestWatchdog {
+ public:
+  struct Options {
+    /// How long the epoch may sit still against a non-empty queue.
+    std::chrono::milliseconds deadline{2000};
+    /// Monitor-thread sampling interval.
+    std::chrono::milliseconds poll{50};
+  };
+
+  using Sample = std::function<uint64_t()>;
+
+  /// Default options (the defaulted overload exists because a nested
+  /// class's member initializers are unusable as a default argument
+  /// inside the enclosing class).
+  IngestWatchdog();
+  explicit IngestWatchdog(const Options& options);
+  ~IngestWatchdog();
+
+  IngestWatchdog(const IngestWatchdog&) = delete;
+  IngestWatchdog& operator=(const IngestWatchdog&) = delete;
+
+  /// Spawns the monitor thread. `epoch` and `queue_depth` are called from
+  /// that thread every poll interval; both must be safe to call
+  /// concurrently with the system they observe (lock-free reads — e.g.
+  /// StreamingMatcher::drains_completed() and pending_hint()).
+  void Start(Sample epoch, Sample queue_depth);
+
+  /// Joins the monitor thread (idempotent; the destructor calls it).
+  void Stop();
+
+  /// Feeds one observation at `now` into the stall decision; returns the
+  /// resulting stalled state. The monitor thread is the only caller in
+  /// production — tests call it directly with a fake clock.
+  bool Observe(uint64_t epoch, uint64_t queue_depth,
+               std::chrono::steady_clock::time_point now);
+
+  bool stalled() const { return stalled_.load(std::memory_order_acquire); }
+
+  /// Distinct stall episodes flagged so far.
+  uint64_t stall_events() const {
+    return stall_events_.load(std::memory_order_relaxed);
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  void Loop();
+
+  const Options options_;
+  Sample epoch_fn_;
+  Sample depth_fn_;
+  std::atomic<bool> stalled_{false};
+  std::atomic<uint64_t> stall_events_{0};
+
+  // Observe() state — only the monitor thread (or the test driving
+  // Observe directly) touches it.
+  bool have_baseline_ = false;
+  uint64_t last_epoch_ = 0;
+  std::chrono::steady_clock::time_point last_progress_{};
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace cem::obs
+
+#endif  // CEM_OBS_WATCHDOG_H_

@@ -1,0 +1,110 @@
+#ifndef CEM_OBS_WINDOW_H_
+#define CEM_OBS_WINDOW_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace cem::obs {
+
+/// Merged read of one trailing window of a RollingWindow.
+struct WindowStats {
+  /// Samples recorded inside the window.
+  uint64_t count = 0;
+  /// Of which flagged as errors.
+  uint64_t errors = 0;
+  /// The window length the read merged, seconds.
+  uint64_t window_s = 0;
+  /// count / window_s — the live rate.
+  double qps = 0.0;
+  /// errors / count (0 when the window is empty).
+  double error_rate = 0.0;
+  /// Bucket-resolution latency percentiles over the window, microseconds
+  /// (same 1-2-5 ladder and interpolation as obs::Histogram, overflow
+  /// clamped to the last finite bound).
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Live sliding-window aggregation: where a Histogram answers "p99 since
+/// process start", a RollingWindow answers "p99 over the last 10
+/// seconds". The structure is a lock-light ring of per-second sub-buckets
+/// — Record() tags the current second's bucket and bumps relaxed atomics
+/// (a mutex is taken only when a bucket is reused for a new second, once
+/// per second per slot); Over() merges the buckets whose second falls
+/// inside the trailing window. Totals are exact: a sample is counted in
+/// exactly one sub-bucket, and sub-buckets survive untouched for
+/// kCapacitySeconds before their slot is recycled, so any read whose
+/// window fits the capacity sees every sample recorded in it.
+///
+/// The clock is injectable (RecordAt/OverAt take the epoch second) so
+/// expiry and merging are deterministically testable; Record/Over use the
+/// process steady clock.
+class RollingWindow {
+ public:
+  /// Ring capacity in seconds. Reads clamp to kMaxWindowSeconds, leaving
+  /// slack so a read at the edge of the window never races a recycle.
+  static constexpr uint64_t kCapacitySeconds = 64;
+  static constexpr uint64_t kMaxWindowSeconds = 60;
+
+  RollingWindow();
+
+  RollingWindow(const RollingWindow&) = delete;
+  RollingWindow& operator=(const RollingWindow&) = delete;
+
+  /// Records one sample into the current second's bucket. Thread-safe,
+  /// contention-free against other recorders of the same second.
+  void Record(double latency_us, bool error = false) {
+    RecordAt(NowSeconds(), latency_us, error);
+  }
+
+  /// Merged stats over the trailing `window_s` seconds (clamped to
+  /// [1, kMaxWindowSeconds]).
+  WindowStats Over(uint64_t window_s) const {
+    return OverAt(window_s, NowSeconds());
+  }
+
+  /// Record against an explicit epoch second (deterministic tests; the
+  /// serving layer always uses Record). A sample older than the bucket
+  /// its slot currently holds is dropped — it belongs to a second that
+  /// already recycled out of the ring.
+  void RecordAt(uint64_t now_s, double latency_us, bool error);
+
+  /// Over against an explicit epoch second.
+  WindowStats OverAt(uint64_t window_s, uint64_t now_s) const;
+
+  /// Seconds since the process trace epoch (steady clock — shared with
+  /// TraceNowNs so trace timestamps and window seconds line up).
+  static uint64_t NowSeconds();
+
+ private:
+  struct alignas(64) Bucket {
+    /// The epoch second this bucket currently holds; kIdle when never
+    /// used. Written under `reset_mu`, read with acquire.
+    std::atomic<uint64_t> second{kIdle};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<double> latency_sum{0.0};
+    /// bounds.size() + 1 latency buckets (last = overflow), like Histogram.
+    std::unique_ptr<std::atomic<uint64_t>[]> latency;
+    /// Serializes the once-per-second rollover of this slot.
+    std::mutex reset_mu;
+  };
+  static constexpr uint64_t kIdle = ~0ull;
+
+  /// Points the slot's bucket at `now_s` (zeroing it) if it still holds an
+  /// older second; returns false when the sample is stale (the slot moved
+  /// past `now_s`).
+  bool Roll(Bucket& bucket, uint64_t now_s);
+
+  std::vector<double> bounds_;
+  std::array<Bucket, kCapacitySeconds> buckets_;
+};
+
+}  // namespace cem::obs
+
+#endif  // CEM_OBS_WINDOW_H_

@@ -1,7 +1,7 @@
 #include "serve/match_service.h"
 
 #include <algorithm>
-#include <chrono>
+#include <cstdio>
 #include <mutex>
 #include <thread>
 #include <unordered_set>
@@ -10,6 +10,7 @@
 #include "blocking/minhash.h"
 #include "core/match_set.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace cem::serve {
@@ -30,7 +31,9 @@ Status ValidateRef(const data::Dataset& dataset, data::EntityId ref) {
 
 MatchService::MatchService(stream::StreamingMatcher& matcher,
                            const ServeOptions& options)
-    : matcher_(matcher), options_(options) {
+    : matcher_(matcher),
+      options_(options),
+      slow_log_(options.slow_query_log_size, options.slow_query_us) {
   epoch_.store(matcher.num_live(), std::memory_order_release);
 }
 
@@ -75,9 +78,24 @@ Result<QueryResult> MatchService::Lookup(const Query& query) const {
       obs::MetricsRegistry::Global().counter("serve_queries");
   static obs::Histogram& latency =
       obs::MetricsRegistry::Global().histogram("serve_query_us");
-  CEM_RETURN_IF_ERROR(ValidateRef(matcher_.dataset(), query.ref));
-  obs::ScopedLatencyUs timer(latency);
-  const auto start = std::chrono::steady_clock::now();
+  obs::QueryTrace trace;
+  trace.query_id = obs::NextQueryId();
+  trace.ref = query.ref;
+  trace.start_ns = obs::TraceNowNs();
+  if (Status status = ValidateRef(matcher_.dataset(), query.ref);
+      !status.ok()) {
+    static obs::Counter& errors =
+        obs::MetricsRegistry::Global().counter("serve_query_errors");
+    trace.error = true;
+    trace.total_us =
+        static_cast<double>(obs::TraceNowNs() - trace.start_ns) / 1e3;
+    errors.Add(1);
+    // Rejected lookups feed the window as errors (the live error rate),
+    // but never the latency histogram or the slow-query log — those
+    // describe served answers.
+    window_.Record(trace.total_us, /*error=*/true);
+    return status;
+  }
   // Ingest priority: let a pending exclusive section acquire first (the
   // blocked time still counts toward this lookup's latency).
   while (ingest_waiting_.load(std::memory_order_acquire) > 0) {
@@ -88,17 +106,40 @@ Result<QueryResult> MatchService::Lookup(const Query& query) const {
   // matcher — every mutation (and its drain) completed before the epoch
   // was published and the exclusive lock released.
   CEM_DCHECK(matcher_.quiescent());
-  QueryResult result = LookupLocked(query);
+  QueryResult result = LookupLocked(query, &trace);
   lock.unlock();
-  result.latency_us = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - start)
-          .count());
+  trace.total_us =
+      static_cast<double>(obs::TraceNowNs() - trace.start_ns) / 1e3;
+  result.latency_us = static_cast<uint64_t>(trace.total_us);
+  latency.Record(trace.total_us);
   queries.Add(1);
+  window_.Record(trace.total_us, /*error=*/false);
+  slow_log_.Offer(trace);
+  result.trace = trace;
   return result;
 }
 
-QueryResult MatchService::LookupLocked(const Query& query) const {
+void MatchService::PublishWindowGauges() const {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  char name[64];
+  for (const uint64_t window_s : {1ull, 10ull, 60ull}) {
+    const obs::WindowStats stats = window_.Over(window_s);
+    const std::pair<const char*, double> values[] = {
+        {"qps", stats.qps},       {"error_rate", stats.error_rate},
+        {"p50_us", stats.p50},    {"p95_us", stats.p95},
+        {"p99_us", stats.p99}};
+    for (const auto& [suffix, value] : values) {
+      std::snprintf(name, sizeof(name), "serve_window%llus_%s",
+                    static_cast<unsigned long long>(window_s), suffix);
+      registry.gauge(name).Set(value);
+    }
+  }
+  registry.gauge("serve_slow_queries")
+      .Set(static_cast<double>(slow_log_.slow_count()));
+}
+
+QueryResult MatchService::LookupLocked(const Query& query,
+                                       obs::QueryTrace* trace) const {
   static obs::Counter& scanned =
       obs::MetricsRegistry::Global().counter("serve_candidates_scanned");
   static obs::Counter& rescores =
@@ -112,6 +153,13 @@ QueryResult MatchService::LookupLocked(const Query& query) const {
   result.epoch = matcher_.num_live();
   const uint32_t self_slot = icover.SlotOf(query.ref);
   result.live = self_slot != stream::IncrementalCover::kNoSeed;
+  // Stage stamps are cumulative offsets from the query's start, read in
+  // stage order from one steady clock — monotone by construction.
+  const auto stage_us = [trace] {
+    return static_cast<double>(obs::TraceNowNs() - trace->start_ns) / 1e3;
+  };
+  trace->epoch = result.epoch;
+  trace->live = result.live;
 
   // The query's MinHash signature: the stored one for live references
   // (bit-identical to recomputation, and cheaper), computed fresh for
@@ -119,6 +167,7 @@ QueryResult MatchService::LookupLocked(const Query& query) const {
   const std::vector<uint64_t>& signature =
       result.live ? icover.signatures()[self_slot]
                   : icover.ComputeSignature(query.ref);
+  trace->signature_us = stage_us();
 
   // LSH probe: slots sharing at least one band bucket, self filtered.
   const std::vector<uint32_t> slots =
@@ -133,6 +182,9 @@ QueryResult MatchService::LookupLocked(const Query& query) const {
     result.candidates.push_back(c);
   }
   scanned.Add(result.candidates.size());
+  trace->shards_probed = icover.lsh_index().num_shards();
+  trace->candidates_probed = result.candidates.size();
+  trace->probe_us = stage_us();
 
   // Ranked answer: best similarity first, ids break ties — deterministic
   // for any arrival order of the candidates themselves.
@@ -146,6 +198,8 @@ QueryResult MatchService::LookupLocked(const Query& query) const {
   if (cap > 0 && result.candidates.size() > cap) {
     result.candidates.resize(cap);
   }
+  trace->candidates_returned = result.candidates.size();
+  trace->rank_us = stage_us();
 
   if (result.live) {
     // Live query: the published fixpoint already holds its matches.
@@ -187,6 +241,8 @@ QueryResult MatchService::LookupLocked(const Query& query) const {
     }
   }
   if (result.cluster.empty()) result.cluster = {query.ref};
+  trace->cluster_size = result.cluster.size();
+  trace->cover_us = stage_us();
 
   for (const CandidateScore& c : result.candidates) {
     if (c.matched) result.confidence = std::max(result.confidence, c.jaccard);

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "data/entity.h"
+#include "obs/query_trace.h"
+#include "obs/window.h"
 #include "stream/streaming_matcher.h"
 #include "util/status.h"
 
@@ -66,8 +68,12 @@ struct QueryResult {
   /// candidates (0 when the query matched nothing).
   double confidence = 0.0;
   /// Service-side wall time of this lookup, microseconds. Informational —
-  /// the one nondeterministic field.
+  /// nondeterministic like `trace`.
   uint64_t latency_us = 0;
+  /// Request-level trace context: query id, per-stage micro-timings and
+  /// candidate/shard counts (obs/query_trace.h). Informational — ids and
+  /// timings differ run to run; everything above stays deterministic.
+  obs::QueryTrace trace;
 };
 
 /// Options of a MatchService.
@@ -79,6 +85,11 @@ struct ServeOptions {
   /// neighborhoods. Off = cold queries return jaccard scores only
   /// (matched stays false).
   bool score_cold_queries = true;
+  /// Lookups at or over this many microseconds land their trace in the
+  /// slow-query log.
+  double slow_query_us = 1000.0;
+  /// Worst-N capacity of the slow-query log.
+  size_t slow_query_log_size = 32;
 };
 
 /// The serving layer: wraps a live stream::StreamingMatcher and answers
@@ -147,9 +158,25 @@ class MatchService {
     return matcher_;
   }
 
+  // --- request-level observability ------------------------------------------
+
+  /// Rolling 1s/10s/60s latency/QPS/error-rate window every Lookup feeds
+  /// (validation failures included, as errors). Thread-safe reads.
+  const obs::RollingWindow& rolling_window() const { return window_; }
+
+  /// The worst-N slow-query traces over options().slow_query_us.
+  const obs::SlowQueryLog& slow_query_log() const { return slow_log_; }
+
+  /// Publishes the rolling-window stats as registry gauges
+  /// (`serve_window<W>s_{qps,error_rate,p50_us,p95_us,p99_us}` for W in
+  /// 1/10/60) plus `serve_slow_queries` — the refresh hook a stats scrape
+  /// runs so /metrics carries current window values. Thread-safe.
+  void PublishWindowGauges() const;
+
  private:
-  /// Lookup body; runs with the shared lock held.
-  QueryResult LookupLocked(const Query& query) const;
+  /// Lookup body; runs with the shared lock held. Fills `trace`'s stage
+  /// offsets and counts as it goes.
+  QueryResult LookupLocked(const Query& query, obs::QueryTrace* trace) const;
 
   stream::StreamingMatcher& matcher_;
   ServeOptions options_;
@@ -162,6 +189,10 @@ class MatchService {
   /// Published epoch: matcher_.num_live() as of the last completed ingest
   /// section (release-stored under the exclusive lock).
   std::atomic<uint64_t> epoch_{0};
+  /// Request-level observability (mutable: Lookup is const; both are
+  /// internally synchronized).
+  mutable obs::RollingWindow window_;
+  mutable obs::SlowQueryLog slow_log_;
 };
 
 }  // namespace cem::serve

@@ -75,6 +75,17 @@ void RegisterDedupToolFlags(FlagSet& flags, DedupToolOptions* options) {
                "write the metrics registry as flat JSON here at exit");
   flags.String("--trace-json", &options->obs.trace_json,
                "enable tracing; write a Chrome trace_event array here");
+  flags.Uint32("--stats-port", &options->obs.stats_port,
+               "serve live stats on 127.0.0.1:<port> (0: ephemeral)",
+               &options->obs.stats_port_set);
+  flags.String("--stats-ready-file", &options->obs.stats_ready_file,
+               "write the bound stats port here once listening");
+  flags.String("--slow-query-log", &options->obs.slow_query_log,
+               "write the serve slow-query log as JSON here at exit");
+  flags.Double("--slow-query-us", &options->obs.slow_query_us,
+               "slow-query threshold in microseconds");
+  flags.Uint64("--stall-deadline-ms", &options->obs.stall_deadline_ms,
+               "ingest-stall watchdog deadline in milliseconds");
 }
 
 std::vector<std::string> DedupToolOptions::ToArgs() const {
@@ -136,6 +147,22 @@ std::vector<std::string> DedupToolOptions::ToArgs() const {
   }
   if (obs.trace_json != defaults.obs.trace_json) {
     AppendFlag(args, "--trace-json", obs.trace_json);
+  }
+  if (obs.stats_port_set) {
+    AppendFlag(args, "--stats-port", std::to_string(obs.stats_port));
+  }
+  if (obs.stats_ready_file != defaults.obs.stats_ready_file) {
+    AppendFlag(args, "--stats-ready-file", obs.stats_ready_file);
+  }
+  if (obs.slow_query_log != defaults.obs.slow_query_log) {
+    AppendFlag(args, "--slow-query-log", obs.slow_query_log);
+  }
+  if (obs.slow_query_us != defaults.obs.slow_query_us) {
+    AppendFlag(args, "--slow-query-us", FormatDouble(obs.slow_query_us));
+  }
+  if (obs.stall_deadline_ms != defaults.obs.stall_deadline_ms) {
+    AppendFlag(args, "--stall-deadline-ms",
+               std::to_string(obs.stall_deadline_ms));
   }
   return args;
 }

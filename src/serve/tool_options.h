@@ -95,12 +95,29 @@ struct ServeToolOptions {
                          const ServeToolOptions&) = default;
 };
 
-/// Observability exports.
+/// Observability exports and the live stats endpoint.
 struct ObsToolOptions {
   /// Write the metrics registry as flat JSON here at exit (empty = off).
   std::string metrics_json;
   /// Enable tracing; write a Chrome trace_event array here (empty = off).
   std::string trace_json;
+  /// Serve /metrics, /metrics.json, /slowlog.json and /healthz on
+  /// 127.0.0.1:<port> while the tool runs (0 = ephemeral port).
+  uint32_t stats_port = 0;
+  bool stats_port_set = false;  ///< --stats-port given (0 means ephemeral).
+  /// Write the bound stats port (one decimal line) here once listening —
+  /// how a script scraping an ephemeral port learns it. Also a scrape
+  /// handshake: at exit the tool keeps the endpoint alive (up to 60s)
+  /// until this file is deleted, so the script can read final-state
+  /// metrics without racing the process shutdown.
+  std::string stats_ready_file;
+  /// Write the slow-query log as a JSON array here after --serve (empty =
+  /// off).
+  std::string slow_query_log;
+  /// Slow-query threshold for the serve log, microseconds.
+  double slow_query_us = 1000.0;
+  /// Ingest-stall watchdog deadline, milliseconds (--serve only).
+  uint64_t stall_deadline_ms = 2000;
 
   friend bool operator==(const ObsToolOptions&, const ObsToolOptions&) = default;
 };

@@ -196,6 +196,16 @@ void StreamingMatcher::Drain() {
   evals_counter.Add(matching_stats_.neighborhood_evaluations -
                     evaluations_before);
   rescored_counter.Add(matching_stats_.pairs_rescored - rescored_before);
+  // Release-published last: a watchdog observing the new value knows this
+  // drain's state updates happened before it.
+  drains_completed_.fetch_add(1, std::memory_order_release);
+}
+
+void StreamingMatcher::set_pending_hint(size_t pending) {
+  pending_hint_.store(pending, std::memory_order_release);
+  obs::MetricsRegistry::Global()
+      .gauge("stream_ingest_queue_depth")
+      .Set(static_cast<double>(pending));
 }
 
 }  // namespace cem::stream

@@ -1,6 +1,7 @@
 #ifndef CEM_STREAM_STREAMING_MATCHER_H_
 #define CEM_STREAM_STREAMING_MATCHER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -153,6 +154,25 @@ class StreamingMatcher {
     return {icover_.stats(), matching_stats_};
   }
 
+  // --- ingest-progress observability ---------------------------------------
+
+  /// Convergence drains completed so far. Lock-free reads from any thread;
+  /// the counter bumps at the END of each drain, so together with a
+  /// non-zero pending_hint() a frozen value means ingest has stopped
+  /// making progress — the signal obs::IngestWatchdog watches.
+  uint64_t drains_completed() const {
+    return drains_completed_.load(std::memory_order_acquire);
+  }
+
+  /// Advisory queue depth: how many references the driver still intends
+  /// to ingest. The driver sets it around its ingest loop (the matcher
+  /// never changes it); setting it also publishes the
+  /// `stream_ingest_queue_depth` gauge. Lock-free reads from any thread.
+  void set_pending_hint(size_t pending);
+  size_t pending_hint() const {
+    return pending_hint_.load(std::memory_order_acquire);
+  }
+
   // --- serialization support (persist/) ------------------------------------
 
   /// The maintained incremental cover, full-state accessors included.
@@ -197,6 +217,9 @@ class StreamingMatcher {
   std::vector<uint8_t> queued_;  // Grows with the cover.
   /// num_live() at the last metrics publication (metrics_every_inserts).
   size_t metrics_published_at_ = 0;
+  /// See drains_completed() / pending_hint().
+  std::atomic<uint64_t> drains_completed_{0};
+  std::atomic<size_t> pending_hint_{0};
 };
 
 }  // namespace cem::stream

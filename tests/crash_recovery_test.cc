@@ -9,6 +9,8 @@
 // count is a chunk boundary, so replay reproduces the exact convergence
 // drains of the original run.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <filesystem>
@@ -41,7 +43,12 @@ using stream::StreamingMatcher;
 using stream::StreamingOptions;
 
 std::string ScratchDir(const std::string& name) {
-  const fs::path dir = fs::path(::testing::TempDir()) / ("crash_" + name);
+  // Suffixed with the pid: ctest -j runs each discovered case in its own
+  // process, and concurrently-scheduled cases of one suite must not race
+  // remove_all/create on a shared path.
+  const fs::path dir =
+      fs::path(::testing::TempDir()) /
+      ("crash_" + name + "_" + std::to_string(::getpid()));
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir.string();

@@ -140,6 +140,27 @@ TEST(DedupToolFlags, ParseToArgsRoundTripsEveryGroup) {
     cases.push_back(o);
   }
   {
+    // The request-level observability group: live stats endpoint, slow
+    // query log, stall watchdog.
+    DedupToolOptions o = DefaultDedupToolOptions();
+    o.serve.serve = true;
+    o.obs.stats_port = 9090;
+    o.obs.stats_port_set = true;
+    o.obs.stats_ready_file = "/tmp/stats.port";
+    o.obs.slow_query_log = "slow.json";
+    o.obs.slow_query_us = 250.5;
+    o.obs.stall_deadline_ms = 500;
+    cases.push_back(o);
+  }
+  {
+    // --stats-port 0 given explicitly (ephemeral) must survive the round
+    // trip: the set marker, not the value, carries the intent.
+    DedupToolOptions o = DefaultDedupToolOptions();
+    o.serve.serve = true;
+    o.obs.stats_port_set = true;
+    cases.push_back(o);
+  }
+  {
     // The subtle one: *_set-tracked flags at their DEFAULT values must
     // survive the round trip ("explicitly 64" reconciles differently from
     // "defaulted 64" on --recover).

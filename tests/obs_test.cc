@@ -9,12 +9,14 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -23,6 +25,8 @@
 #include "blocking/lsh_cover.h"
 #include "data/bib_generator.h"
 #include "mln/mln_matcher.h"
+#include "obs/expo.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stream/streaming_matcher.h"
@@ -116,6 +120,21 @@ TEST(HistogramTest, OverflowBucketClampsToLastBound) {
   hist.Record(1e9);
   EXPECT_EQ(hist.Count(), 1u);
   EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 2.0);
+}
+
+TEST(HistogramTest, StatsPercentilesClampWhenEverySampleOverflows) {
+  // The boundary case the interpolation must not walk past: with the
+  // entire mass in the overflow bucket, every percentile (not just a
+  // mid-quantile probe) pins to the last finite bound instead of
+  // extrapolating beyond it.
+  Histogram hist({10, 20, 50});
+  for (int i = 0; i < 1000; ++i) hist.Record(1e12);
+  const HistogramStats stats = hist.Stats();
+  EXPECT_EQ(stats.count, 1000u);
+  EXPECT_DOUBLE_EQ(stats.p50, 50.0);
+  EXPECT_DOUBLE_EQ(stats.p95, 50.0);
+  EXPECT_DOUBLE_EQ(stats.p99, 50.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 50.0);
 }
 
 TEST(HistogramTest, DefaultLatencyBoundsAreStrictlyAscending) {
@@ -220,6 +239,37 @@ TEST(MetricsRegistryTest, WriteMetricsJsonRoundTrips) {
   fs::remove(path);
 }
 
+TEST(MetricsRegistryTest, ToJsonEscapesMetricNames) {
+  // Metric names are identifiers everywhere in the tree, but the export
+  // must stay valid JSON even for a hostile name — same escaper as the
+  // trace exporter (obs/json.h).
+  MetricsSnapshot snapshot;
+  snapshot.counters["we\"ird\nname"] = 3;
+  snapshot.gauges["tab\there"] = 1.5;
+  const std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"counter_we\\\"ird\\nname\": 3"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"gauge_tab\\there\": 1.5"), std::string::npos) << json;
+  // Nothing inside a quoted string may be a raw control character: every
+  // raw newline in the document must be formatting between entries, i.e.
+  // immediately after a comma or brace.
+  for (size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '\n' && i > 0) {
+      EXPECT_TRUE(json[i - 1] == ',' || json[i - 1] == '{' ||
+                  json[i - 1] == '}')
+          << "raw newline mid-value at offset " << i << " in " << json;
+    }
+    EXPECT_NE(json[i], '\t') << json;
+  }
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControlBytes) {
+  EXPECT_EQ(obs::JsonEscaped("plain"), "plain");
+  EXPECT_EQ(obs::JsonEscaped("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::JsonEscaped("\n\t\r"), "\\n\\t\\r");
+  EXPECT_EQ(obs::JsonEscaped(std::string_view("\x01", 1)), "\\u0001");
+}
+
 // ------------------------------------------------------------------ Trace --
 
 TEST(TraceTest, ParseEnabledValueSemantics) {
@@ -295,6 +345,124 @@ TEST(TraceTest, EmptyTraceExportsEmptyArray) {
   const std::string json = ReadFileOrDie(path.string());
   EXPECT_EQ(json.front(), '[');
   EXPECT_EQ(json[json.find_last_not_of(" \n")], ']');
+  fs::remove(path);
+}
+
+TEST(TraceTest, SpansFromExitedThreadsSurvive) {
+  // A short-lived traced thread must not take its spans with it: the
+  // recorder retires the thread-local log at thread exit, so Events()
+  // after join still sees everything the thread recorded.
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  std::thread worker([] {
+    CEM_TRACE("obs_test/worker_a");
+    CEM_TRACE("obs_test/worker_b");
+  });
+  worker.join();
+  { CEM_TRACE("obs_test/main_after_join"); }
+  recorder.SetEnabled(false);
+  const std::vector<obs::TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 3u);
+  size_t from_worker = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (std::string_view(e.name).find("worker") != std::string_view::npos) {
+      ++from_worker;
+    }
+  }
+  EXPECT_EQ(from_worker, 2u);
+  recorder.Clear();
+}
+
+TEST(TraceTest, ManyExitedThreadsFlushEverySpan) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  constexpr size_t kThreads = 16;
+  constexpr size_t kSpansPerThread = 25;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (size_t i = 0; i < kSpansPerThread; ++i) {
+        CEM_TRACE("obs_test/churn");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  recorder.SetEnabled(false);
+  EXPECT_EQ(recorder.Events().size(), kThreads * kSpansPerThread);
+  recorder.Clear();
+}
+
+// ------------------------------------------------------------- Prometheus --
+
+TEST(PrometheusTest, NameSanitizesToLegalCharset) {
+  EXPECT_EQ(obs::PrometheusName("serve_qps"), "cem_serve_qps");
+  EXPECT_EQ(obs::PrometheusName("we ird-name"), "cem_we_ird_name");
+  // A digit-first registry name is legal after the prefix.
+  EXPECT_EQ(obs::PrometheusName("9lives"), "cem_9lives");
+  EXPECT_EQ(obs::PrometheusName("colons:ok"), "cem_colons:ok");
+}
+
+TEST(PrometheusTest, RenderCoversEveryMetricKind) {
+  MetricsRegistry registry;
+  registry.counter("pairs").Add(12);
+  registry.gauge("depth").Set(3.5);
+  registry.histogram("lat_us", {1, 10, 100}).Record(7);
+  const std::string text = obs::RenderMetricsPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE cem_pairs_total counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\ncem_pairs_total 12\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE cem_depth gauge"), std::string::npos) << text;
+  EXPECT_NE(text.find("\ncem_depth 3.5\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE cem_lat_us summary"), std::string::npos) << text;
+  EXPECT_NE(text.find("cem_lat_us{quantile=\"0.5\"}"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cem_lat_us{quantile=\"0.99\"}"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\ncem_lat_us_sum "), std::string::npos) << text;
+  EXPECT_NE(text.find("\ncem_lat_us_count 1\n"), std::string::npos) << text;
+}
+
+TEST(PrometheusTest, RenderedTextPassesItsOwnSchemaRules) {
+  // The same charset/value rules bench_diff --check-prometheus enforces,
+  // applied to a real render: every non-comment line must be
+  // `<legal-name>[{labels}] <numeric-value>`.
+  MetricsRegistry registry;
+  registry.counter("a b").Add(1);  // Name needing sanitization.
+  registry.histogram("lat_us", {1, 10}).Record(3);
+  const std::string text = obs::RenderMetricsPrometheus(registry.Snapshot());
+  std::istringstream lines(text);
+  std::string line;
+  size_t samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, line.find_first_of("{ "));
+    for (size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                         c == '_' || c == ':' ||
+                         (i > 0 && c >= '0' && c <= '9');
+      EXPECT_TRUE(legal) << line;
+    }
+    char* end = nullptr;
+    const std::string value = line.substr(space + 1);
+    std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << line;
+    ++samples;
+  }
+  EXPECT_GE(samples, 2u);
+}
+
+TEST(PrometheusTest, WritePrometheusExportsGlobalRegistry) {
+  const fs::path path = fs::temp_directory_path() / "cem_obs_metrics.prom";
+  MetricsRegistry::Global().counter("obs_test_prom_marker").Add(1);
+  ASSERT_TRUE(obs::WriteMetricsPrometheus(path.string()).ok());
+  const std::string text = ReadFileOrDie(path.string());
+  EXPECT_NE(text.find("cem_obs_test_prom_marker_total"), std::string::npos);
   fs::remove(path);
 }
 
